@@ -1,0 +1,25 @@
+//! Criterion bench behind E6/E8: FastDOM_T and FastDOM_G.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kdom_core::fastdom::{fast_dom_g, fast_dom_t, WithinCluster};
+use kdom_graph::generators::Family;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fastdom");
+    let tree = Family::RandomTree.generate(1024, 41);
+    for k in [3usize, 8] {
+        g.bench_function(format!("tree/n1024/k{k}"), |b| {
+            b.iter(|| fast_dom_t(std::hint::black_box(&tree), k, WithinCluster::OptimalDp))
+        });
+    }
+    let graph = Family::Gnp.generate(512, 47);
+    for k in [3usize, 8] {
+        g.bench_function(format!("graph/n512/k{k}"), |b| {
+            b.iter(|| fast_dom_g(std::hint::black_box(&graph), k))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench behind E10/E15/E16: Fast-MST vs the baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kdom_graph::generators::Family;
+use kdom_mst::baselines::{phase_doubling_mst, pipeline_only_mst};
+use kdom_mst::fastmst::fast_mst;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mst_race");
+    g.sample_size(10);
+    let graph = Family::Grid.generate(400, 59);
+    g.bench_function("fast_mst/grid400", |b| {
+        b.iter(|| fast_mst(std::hint::black_box(&graph)))
+    });
+    g.bench_function("phase_doubling/grid400", |b| {
+        b.iter(|| phase_doubling_mst(std::hint::black_box(&graph)))
+    });
+    g.bench_function("pipeline_only/grid400", |b| {
+        b.iter(|| pipeline_only_mst(std::hint::black_box(&graph)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

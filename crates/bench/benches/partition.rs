@@ -1,0 +1,28 @@
+//! Criterion bench behind E4/E5: the DOMPartition family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kdom_core::partition::{dom_partition, dom_partition_1, dom_partition_2};
+use kdom_graph::generators::Family;
+use kdom_graph::NodeId;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dom_partition");
+    let graph = Family::RandomTree.generate(1024, 31);
+    let nodes: Vec<NodeId> = graph.nodes().collect();
+    let edges: Vec<(NodeId, NodeId)> = graph.edges().iter().map(|e| (e.u, e.v)).collect();
+    for k in [4usize, 16] {
+        g.bench_function(format!("variant1/k{k}"), |b| {
+            b.iter(|| dom_partition_1(&graph, nodes.clone(), &edges, k))
+        });
+        g.bench_function(format!("variant2/k{k}"), |b| {
+            b.iter(|| dom_partition_2(&graph, nodes.clone(), &edges, k))
+        });
+        g.bench_function(format!("full/k{k}"), |b| {
+            b.iter(|| dom_partition(&graph, nodes.clone(), &edges, k))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Regenerates every experiment table of the reproduction.
+//!
+//! Usage:
+//!   experiments [all|e1|e2|...|e15]... [--quick]
+//!
+//! With no arguments, runs the full suite.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let tables = if names.is_empty() || names.iter().any(|n| n.as_str() == "all") {
+        kdom_bench::exps::all(quick)
+    } else {
+        let mut ts = Vec::new();
+        for n in names {
+            match kdom_bench::exps::by_name(n, quick) {
+                Some(t) => ts.push(t),
+                None => {
+                    eprintln!("unknown experiment {n:?}; use e1..e20 or all");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        ts
+    };
+
+    let mut ok = true;
+    for t in &tables {
+        print!("{t}");
+        ok &= t.all_ok;
+    }
+    println!(
+        "\n{} experiment(s); {}",
+        tables.len(),
+        if ok { "all checks passed" } else { "SOME CHECKS FAILED" }
+    );
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,13 @@
+//! Experiment harness for the Kutten–Peleg reproduction.
+//!
+//! [`exps`] contains one function per experiment (E1–E15, see DESIGN.md
+//! §3 for the claim ↔ experiment mapping); [`table`] renders their
+//! outputs. The `experiments` binary drives them; `EXPERIMENTS.md` holds
+//! a curated full-run record. Criterion wall-clock benches live under
+//! `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exps;
+pub mod table;

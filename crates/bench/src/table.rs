@@ -1,0 +1,118 @@
+//! Minimal aligned-text tables for the experiment harness.
+
+use std::fmt;
+
+/// One experiment's output: a titled table plus a pass/fail verdict.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id + claim, e.g. "E2 — Lemma 2.3 (DiamDOM rounds)".
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Human-readable notes (deviations, expectations).
+    pub notes: Vec<String>,
+    /// Whether every checked property held.
+    pub all_ok: bool,
+}
+
+impl Table {
+    /// Starts an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+            all_ok: true,
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note printed under the table.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Records a property-check outcome; failures flip the verdict.
+    pub fn check(&mut self, ok: bool) -> &'static str {
+        if !ok {
+            self.all_ok = false;
+        }
+        if ok {
+            "ok"
+        } else {
+            "FAIL"
+        }
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n== {} ==", self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, "{:>w$}  ", c, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        writeln!(f, "  verdict: {}", if self.all_ok { "ALL CHECKS PASSED" } else { "CHECKS FAILED" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T — demo", &["a", "b"]);
+        t.row(vec!["1".into(), "long".into()]);
+        t.note("hello");
+        let s = t.to_string();
+        assert!(s.contains("== T — demo =="));
+        assert!(s.contains("note: hello"));
+        assert!(s.contains("ALL CHECKS PASSED"));
+    }
+
+    #[test]
+    fn check_flips_verdict() {
+        let mut t = Table::new("T", &["a"]);
+        assert_eq!(t.check(true), "ok");
+        assert_eq!(t.check(false), "FAIL");
+        assert!(!t.all_ok);
+        assert!(t.to_string().contains("CHECKS FAILED"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_enforced() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

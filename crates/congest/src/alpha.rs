@@ -1,0 +1,406 @@
+//! Asynchronous execution via **synchronizer α** (Awerbuch \[Al\]).
+//!
+//! The paper's model discussion (§1.2) notes that assuming synchrony "is
+//! not essential, since our decision to ignore communication costs allows
+//! us to freely use a synchronizer of our choice; for example, we can use
+//! the simple synchronizer α whose cost in an asynchronous network is one
+//! message over each edge in each direction per round". This module makes
+//! that argument executable: an event-driven network with per-message
+//! delivery delays runs any synchronous [`Protocol`] *unchanged* under
+//! synchronizer α, and the tests check the outputs coincide with the
+//! synchronous executions.
+//!
+//! The classic α recipe, per pulse `p`:
+//!
+//! 1. a node entering pulse `p` runs its synchronous round with the
+//!    payload messages its neighbors sent at pulse `p−1`;
+//! 2. every payload is acknowledged; once all of a node's pulse-`p`
+//!    payloads are acknowledged the node is *safe* and tells every
+//!    neighbor;
+//! 3. a node advances to pulse `p+1` once it is safe and every neighbor
+//!    reported safe for pulse `p` — at which point all pulse-`p` traffic
+//!    toward it has provably arrived.
+//!
+//! Measured overheads (report fields): the payload/control message split
+//! and the virtual completion time under random delays.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kdom_graph::graph::{Graph, NodeId};
+
+use crate::sim::{NodeCtx, Outbox, Port, Protocol, SimError};
+
+/// Statistics of an asynchronous (synchronizer-α) execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AlphaReport {
+    /// Highest pulse any node entered (should match the synchronous
+    /// round count up to the final drain).
+    pub pulses: u64,
+    /// Virtual completion time (max delivery timestamp processed).
+    pub virtual_time: u64,
+    /// Payload (protocol) messages delivered.
+    pub payload_messages: u64,
+    /// Control messages (acks + safe notifications) delivered.
+    pub control_messages: u64,
+}
+
+/// Wire format: a payload with its pulse tag, or α control traffic.
+#[derive(Clone, Debug)]
+enum Wire<M> {
+    Payload { pulse: u64, msg: M },
+    Ack { pulse: u64 },
+    Safe { pulse: u64 },
+}
+
+struct NodeState<P: Protocol> {
+    inner: P,
+    pulse: u64,
+    ran_current: bool,
+    pending_acks: u64,
+    safe_sent: bool,
+    /// payloads received, keyed by the sender's pulse
+    payloads: HashMap<u64, Vec<(Port, P::Msg)>>,
+    /// safe notifications received, keyed by pulse
+    safes: HashMap<u64, HashSet<Port>>,
+}
+
+/// Event-driven asynchronous executor wrapping synchronous protocols
+/// with synchronizer α.
+pub struct AlphaSimulator<'g, P: Protocol> {
+    graph: &'g Graph,
+    nodes: Vec<NodeState<P>>,
+    queue: BinaryHeap<Reverse<(u64, u64, usize, usize, WireBox<P>)>>,
+    seq: u64,
+    rng: StdRng,
+    max_delay: u64,
+    report: AlphaReport,
+}
+
+// BinaryHeap needs Ord; box the wire behind a sequence number and keep
+// comparison on (time, seq) only.
+struct WireBox<P: Protocol>(Wire<P::Msg>);
+
+impl<P: Protocol> PartialEq for WireBox<P> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<P: Protocol> Eq for WireBox<P> {}
+impl<P: Protocol> PartialOrd for WireBox<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P: Protocol> Ord for WireBox<P> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<'g, P: Protocol> AlphaSimulator<'g, P> {
+    /// Creates the asynchronous executor. `max_delay ≥ 1` bounds the
+    /// per-message delivery delay, drawn deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != graph.node_count()` or `max_delay == 0`.
+    pub fn new(graph: &'g Graph, nodes: Vec<P>, seed: u64, max_delay: u64) -> Self {
+        assert_eq!(nodes.len(), graph.node_count(), "one automaton per node");
+        assert!(max_delay >= 1, "delays are at least one time unit");
+        let nodes = nodes
+            .into_iter()
+            .map(|inner| NodeState {
+                inner,
+                pulse: 0,
+                ran_current: false,
+                pending_acks: 0,
+                safe_sent: false,
+                payloads: HashMap::new(),
+                safes: HashMap::new(),
+            })
+            .collect();
+        AlphaSimulator {
+            graph,
+            nodes,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            max_delay,
+            report: AlphaReport::default(),
+        }
+    }
+
+    fn send(&mut self, now: u64, from: usize, port: Port, wire: Wire<P::Msg>) {
+        let arc = self.graph.neighbors(NodeId(from))[port.0];
+        let to = arc.to.0;
+        let back = self
+            .graph
+            .neighbors(arc.to)
+            .iter()
+            .position(|a| a.edge == arc.edge)
+            .expect("edge present on both endpoints");
+        let delay = self.rng.random_range(1..=self.max_delay);
+        self.seq += 1;
+        self.queue
+            .push(Reverse((now + delay, self.seq, to, back, WireBox(wire))));
+    }
+
+    /// Runs the node's synchronous round for its current pulse and ships
+    /// the outputs.
+    fn run_round(&mut self, now: u64, v: usize) {
+        let pulse = self.nodes[v].pulse;
+        debug_assert!(!self.nodes[v].ran_current);
+        let inbox = {
+            let st = &mut self.nodes[v];
+            let mut inbox = if pulse == 0 {
+                Vec::new()
+            } else {
+                st.payloads.remove(&(pulse - 1)).unwrap_or_default()
+            };
+            inbox.sort_by_key(|(p, _)| *p);
+            inbox
+        };
+        let ids: Vec<u64> = (0..self.graph.node_count())
+            .map(|u| self.graph.id_of(NodeId(u)))
+            .collect();
+        let ctx = NodeCtx::new(
+            NodeId(v),
+            ids[v],
+            pulse,
+            self.graph.neighbors(NodeId(v)),
+            &ids,
+        );
+        let mut out = Outbox::with_degree(ctx.degree());
+        self.nodes[v].inner.round(&ctx, &inbox, &mut out);
+        let slots = out.into_slots();
+        let mut sent = 0u64;
+        for (p, slot) in slots.into_iter().enumerate() {
+            if let Some(msg) = slot {
+                sent += 1;
+                self.send(now, v, Port(p), Wire::Payload { pulse, msg });
+            }
+        }
+        self.nodes[v].ran_current = true;
+        self.nodes[v].pending_acks = sent;
+        self.nodes[v].safe_sent = false;
+        self.maybe_safe(now, v);
+    }
+
+    /// Declares safety once all payloads of the current pulse are acked.
+    fn maybe_safe(&mut self, now: u64, v: usize) {
+        if self.nodes[v].ran_current
+            && self.nodes[v].pending_acks == 0
+            && !self.nodes[v].safe_sent
+        {
+            self.nodes[v].safe_sent = true;
+            let pulse = self.nodes[v].pulse;
+            for p in 0..self.graph.degree(NodeId(v)) {
+                self.send(now, v, Port(p), Wire::Safe { pulse });
+            }
+            self.maybe_advance(now, v);
+        }
+    }
+
+    /// Advances to the next pulse once safe and all neighbors are safe.
+    fn maybe_advance(&mut self, now: u64, v: usize) {
+        let pulse = self.nodes[v].pulse;
+        let degree = self.graph.degree(NodeId(v));
+        let ready = {
+            let st = &self.nodes[v];
+            st.ran_current
+                && st.safe_sent
+                && st.safes.get(&pulse).map_or(degree == 0, |s| s.len() == degree)
+        };
+        if ready {
+            let st = &mut self.nodes[v];
+            st.safes.remove(&pulse);
+            st.pulse += 1;
+            st.ran_current = false;
+            self.report.pulses = self.report.pulses.max(self.nodes[v].pulse);
+            self.run_round(now, v);
+        }
+    }
+
+    fn all_quiet(&self) -> bool {
+        self.nodes
+            .iter()
+            .all(|st| st.inner.is_done() && st.payloads.values().all(Vec::is_empty))
+            && !self
+                .queue
+                .iter()
+                .any(|Reverse((_, _, _, _, w))| matches!(w.0, Wire::Payload { .. }))
+    }
+
+    /// Runs to protocol quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RoundLimitExceeded`] if more than `max_pulses`
+    /// pulses elapse.
+    pub fn run(&mut self, max_pulses: u64) -> Result<AlphaReport, SimError> {
+        // pulse 0 for everyone
+        for v in 0..self.nodes.len() {
+            self.run_round(0, v);
+        }
+        while !self.all_quiet() {
+            let Some(Reverse((time, _, to, back, wire))) = self.queue.pop() else {
+                break; // no events left: quiescent or stuck-by-design
+            };
+            if self.report.pulses > max_pulses {
+                return Err(SimError::RoundLimitExceeded { limit: max_pulses });
+            }
+            self.report.virtual_time = self.report.virtual_time.max(time);
+            match wire.0 {
+                Wire::Payload { pulse, msg } => {
+                    self.report.payload_messages += 1;
+                    self.nodes[to]
+                        .payloads
+                        .entry(pulse)
+                        .or_default()
+                        .push((Port(back), msg));
+                    self.send(time, to, Port(back), Wire::Ack { pulse });
+                }
+                Wire::Ack { pulse } => {
+                    self.report.control_messages += 1;
+                    if self.nodes[to].pulse == pulse {
+                        self.nodes[to].pending_acks -= 1;
+                        self.maybe_safe(time, to);
+                    }
+                }
+                Wire::Safe { pulse } => {
+                    self.report.control_messages += 1;
+                    self.nodes[to].safes.entry(pulse).or_default().insert(Port(back));
+                    if self.nodes[to].pulse == pulse {
+                        self.maybe_advance(time, to);
+                    }
+                }
+            }
+        }
+        Ok(self.report.clone())
+    }
+
+    /// The wrapped automata (for output extraction).
+    pub fn into_nodes(self) -> Vec<P> {
+        self.nodes.into_iter().map(|st| st.inner).collect()
+    }
+}
+
+/// Convenience: runs `nodes` under synchronizer α with random delays in
+/// `1..=max_delay` and returns the automata plus the report.
+///
+/// # Errors
+///
+/// Propagates [`SimError::RoundLimitExceeded`].
+pub fn run_protocol_alpha<P: Protocol>(
+    graph: &Graph,
+    nodes: Vec<P>,
+    seed: u64,
+    max_delay: u64,
+    max_pulses: u64,
+) -> Result<(Vec<P>, AlphaReport), SimError> {
+    let mut sim = AlphaSimulator::new(graph, nodes, seed, max_delay);
+    let report = sim.run(max_pulses)?;
+    Ok((sim.into_nodes(), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{run_protocol, Message};
+    use kdom_graph::generators::{gnp_connected, path, GenConfig};
+    use kdom_graph::properties::bfs_distances;
+
+    /// The BFS protocol from the synchronous tests, reused verbatim.
+    #[derive(Clone, Debug)]
+    struct Dist(u32);
+    impl Message for Dist {
+        fn size_bits(&self) -> u64 {
+            32
+        }
+    }
+
+    #[derive(Debug)]
+    struct Bfs {
+        source: bool,
+        dist: Option<u32>,
+    }
+
+    impl Protocol for Bfs {
+        type Msg = Dist;
+        fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Port, Dist)], out: &mut Outbox<Dist>) {
+            if self.dist.is_some() {
+                return;
+            }
+            if self.source && ctx.round == 0 {
+                self.dist = Some(0);
+                out.broadcast(Dist(0));
+            } else if let Some((p, m)) = inbox.iter().min_by_key(|(_, m)| m.0) {
+                self.dist = Some(m.0 + 1);
+                out.broadcast_except(Dist(m.0 + 1), *p);
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.dist.is_some()
+        }
+    }
+
+    fn bfs_nodes(n: usize) -> Vec<Bfs> {
+        (0..n).map(|i| Bfs { source: i == 0, dist: None }).collect()
+    }
+
+    #[test]
+    fn alpha_bfs_matches_synchronous_output() {
+        for seed in 0..5u64 {
+            let g = gnp_connected(&GenConfig::with_seed(40, seed), 0.1);
+            let (sync_nodes, _) = run_protocol(&g, bfs_nodes(40), 10_000).unwrap();
+            let (async_nodes, report) =
+                run_protocol_alpha(&g, bfs_nodes(40), seed, 5, 10_000).unwrap();
+            let want = bfs_distances(&g, kdom_graph::NodeId(0));
+            for v in 0..40 {
+                assert_eq!(async_nodes[v].dist, sync_nodes[v].dist, "seed {seed} node {v}");
+                assert_eq!(async_nodes[v].dist, Some(want[v]));
+            }
+            assert!(report.control_messages > 0, "α control traffic exists");
+        }
+    }
+
+    #[test]
+    fn alpha_pulse_count_matches_synchronous_rounds_shape() {
+        let g = path(&GenConfig::with_seed(30, 0));
+        let (_, sync_report) = run_protocol(&g, bfs_nodes(30), 10_000).unwrap();
+        let (_, alpha_report) = run_protocol_alpha(&g, bfs_nodes(30), 7, 3, 10_000).unwrap();
+        // α keeps *adjacent* nodes within one pulse, so across a path the
+        // fastest node can run ahead by up to the diameter before global
+        // quiescence is detected: rounds ≤ pulses ≤ rounds + Diam + O(1)
+        assert!(alpha_report.pulses >= sync_report.rounds - 1);
+        assert!(alpha_report.pulses <= sync_report.rounds + 30 + 3);
+    }
+
+    #[test]
+    fn alpha_is_deterministic_per_seed() {
+        let g = gnp_connected(&GenConfig::with_seed(30, 3), 0.15);
+        let (_, a) = run_protocol_alpha(&g, bfs_nodes(30), 11, 4, 10_000).unwrap();
+        let (_, b) = run_protocol_alpha(&g, bfs_nodes(30), 11, 4, 10_000).unwrap();
+        assert_eq!(a, b);
+        let (_, c) = run_protocol_alpha(&g, bfs_nodes(30), 12, 4, 10_000).unwrap();
+        assert_ne!(a.virtual_time, c.virtual_time, "different delays, different time");
+    }
+
+    #[test]
+    fn alpha_overhead_is_per_edge_per_pulse() {
+        let g = gnp_connected(&GenConfig::with_seed(50, 9), 0.1);
+        let (_, report) = run_protocol_alpha(&g, bfs_nodes(50), 2, 3, 10_000).unwrap();
+        // acks ≤ payloads; safes ≈ 2·|E| per pulse — the [Al] bound
+        let bound = (report.pulses + 2) * 2 * g.edge_count() as u64
+            + report.payload_messages;
+        assert!(
+            report.control_messages <= bound,
+            "{} control msgs > bound {bound}",
+            report.control_messages
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! A deterministic synchronous **CONGEST**-model simulator.
+//!
+//! The model follows Kutten–Peleg (PODC'95) §1.2:
+//!
+//! * computation proceeds in synchronous rounds;
+//! * a node may send **at most one message per incident edge per round**
+//!   (enforced — a double send panics);
+//! * messages carry `O(log n)` bits (accounted via [`Message::size_bits`]
+//!   and reported in [`RunReport`]; the experiments check the bound);
+//! * nodes have unique identifiers and know the weights of incident edges.
+//!
+//! Algorithms are written as per-node automata implementing [`Protocol`];
+//! the [`Simulator`] runs all automata in lockstep and measures the number
+//! of rounds until global quiescence. Rounds are **measured, not modeled**.
+//!
+//! # Example: flooding a token
+//!
+//! ```
+//! use kdom_congest::{Message, NodeCtx, Outbox, Port, Protocol, Simulator};
+//! use kdom_graph::generators::{path, GenConfig};
+//!
+//! #[derive(Clone, Debug)]
+//! struct Token;
+//! impl Message for Token {}
+//!
+//! struct Flood { seen: bool, origin: bool }
+//! impl Protocol for Flood {
+//!     type Msg = Token;
+//!     fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Port, Token)], out: &mut Outbox<Token>) {
+//!         let newly = (self.origin && ctx.round == 0) || (!self.seen && !inbox.is_empty());
+//!         if newly {
+//!             self.seen = true;
+//!             out.broadcast(Token);
+//!         }
+//!     }
+//!     fn is_done(&self) -> bool { self.seen }
+//! }
+//!
+//! let g = path(&GenConfig::with_seed(10, 0));
+//! let nodes = (0..10).map(|i| Flood { seen: false, origin: i == 0 }).collect();
+//! let mut sim = Simulator::new(&g, nodes);
+//! let report = sim.run(100).unwrap();
+//! assert!(sim.nodes().iter().all(|n| n.seen));
+//! // 9 hops, one final processing step, one echo drained at the far end
+//! assert_eq!(report.rounds, 11);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alpha;
+mod report;
+mod sim;
+
+pub use alpha::{run_protocol_alpha, AlphaReport, AlphaSimulator};
+pub use report::RunReport;
+pub use sim::{run_protocol, Message, NodeCtx, Outbox, Port, Protocol, SimError, Simulator};

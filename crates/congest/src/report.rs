@@ -1,0 +1,99 @@
+//! Run statistics collected by the simulator.
+
+use std::fmt;
+
+/// Metrics of one simulated execution.
+///
+/// `rounds` is the time-complexity measurement the experiments compare
+/// against the paper's bounds; the message statistics back the CONGEST
+/// (message-size) discussion, which the paper states but does not optimize.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Number of rounds executed until global quiescence (including the
+    /// final receive-only step).
+    pub rounds: u64,
+    /// Total number of messages sent.
+    pub messages: u64,
+    /// Sum of [`crate::Message::size_bits`] over all sent messages.
+    pub total_bits: u64,
+    /// Largest single message, in bits.
+    pub max_message_bits: u64,
+    /// Maximum number of messages sent in any single round.
+    pub peak_messages_per_round: u64,
+}
+
+impl RunReport {
+    /// Merges the statistics of a subsequent phase into `self`
+    /// (rounds add up; message stats combine).
+    pub fn absorb(&mut self, later: &RunReport) {
+        self.rounds += later.rounds;
+        self.messages += later.messages;
+        self.total_bits += later.total_bits;
+        self.max_message_bits = self.max_message_bits.max(later.max_message_bits);
+        self.peak_messages_per_round =
+            self.peak_messages_per_round.max(later.peak_messages_per_round);
+    }
+
+    /// Adds `rounds` charged rounds (used when a phase's cost is accounted
+    /// analytically rather than simulated; see `kdom-core::cluster`).
+    pub fn charge_rounds(&mut self, rounds: u64) {
+        self.rounds += rounds;
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rounds={} msgs={} bits={} max_msg_bits={} peak_msgs/round={}",
+            self.rounds,
+            self.messages,
+            self.total_bits,
+            self.max_message_bits,
+            self.peak_messages_per_round
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_combines() {
+        let mut a = RunReport {
+            rounds: 10,
+            messages: 5,
+            total_bits: 320,
+            max_message_bits: 64,
+            peak_messages_per_round: 2,
+        };
+        let b = RunReport {
+            rounds: 7,
+            messages: 9,
+            total_bits: 100,
+            max_message_bits: 128,
+            peak_messages_per_round: 1,
+        };
+        a.absorb(&b);
+        assert_eq!(a.rounds, 17);
+        assert_eq!(a.messages, 14);
+        assert_eq!(a.total_bits, 420);
+        assert_eq!(a.max_message_bits, 128);
+        assert_eq!(a.peak_messages_per_round, 2);
+    }
+
+    #[test]
+    fn charge_adds_rounds_only() {
+        let mut a = RunReport::default();
+        a.charge_rounds(42);
+        assert_eq!(a.rounds, 42);
+        assert_eq!(a.messages, 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = RunReport::default().to_string();
+        assert!(s.contains("rounds=0"));
+    }
+}

@@ -1,0 +1,489 @@
+//! The synchronous round loop, node context, and outbox.
+
+use std::fmt;
+
+use kdom_graph::graph::{Arc, Graph, NodeId};
+
+use crate::report::RunReport;
+
+/// A message that can travel over an edge.
+///
+/// `size_bits` feeds the CONGEST bit accounting; the default (64) models a
+/// constant number of `O(log n)` words. Implementations carrying edge
+/// descriptions (id, id, weight) should override it.
+pub trait Message: Clone + fmt::Debug {
+    /// Size of this message in bits, for the [`RunReport`] accounting.
+    fn size_bits(&self) -> u64 {
+        64
+    }
+}
+
+/// The local port (index into a node's adjacency list) an edge occupies.
+///
+/// Ports are the only way a node refers to its incident edges, mirroring
+/// the standard port-numbering convention of message-passing models.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Port(pub usize);
+
+impl fmt::Debug for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Read-only view a node gets of itself each round.
+#[derive(Debug)]
+pub struct NodeCtx<'a> {
+    /// Dense index of this node (also usable as its unique id).
+    pub node: NodeId,
+    /// The node's unique application-level identifier.
+    pub id: u64,
+    /// Current round number, starting at 0.
+    pub round: u64,
+    /// Incident edges, indexed by [`Port`]. Each [`Arc`] exposes the edge
+    /// weight; `neighbor_id` exposes the remote identifier (both are local
+    /// knowledge in the paper's model).
+    pub arcs: &'a [Arc],
+    ids: &'a [u64],
+}
+
+impl<'a> NodeCtx<'a> {
+    pub(crate) fn new(
+        node: NodeId,
+        id: u64,
+        round: u64,
+        arcs: &'a [Arc],
+        ids: &'a [u64],
+    ) -> Self {
+        NodeCtx { node, id, round, arcs, ids }
+    }
+}
+
+impl NodeCtx<'_> {
+    /// Number of incident edges.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Unique identifier of the neighbor across `port`.
+    #[inline]
+    pub fn neighbor_id(&self, port: Port) -> u64 {
+        self.ids[self.arcs[port.0].to.0]
+    }
+
+    /// Weight of the edge at `port`.
+    #[inline]
+    pub fn edge_weight(&self, port: Port) -> u64 {
+        self.arcs[port.0].weight
+    }
+
+    /// All ports.
+    pub fn ports(&self) -> impl Iterator<Item = Port> {
+        (0..self.arcs.len()).map(Port)
+    }
+}
+
+/// Per-round send buffer: at most one message per port.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    slots: Vec<Option<M>>,
+}
+
+impl<M: Message> Outbox<M> {
+    pub(crate) fn with_degree(degree: usize) -> Self {
+        Outbox { slots: (0..degree).map(|_| None).collect() }
+    }
+
+    pub(crate) fn into_slots(self) -> Vec<Option<M>> {
+        self.slots
+    }
+
+    /// Sends `msg` over `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a message was already queued on `port` this round — that
+    /// would violate the CONGEST one-message-per-edge-per-round rule.
+    pub fn send(&mut self, port: Port, msg: M) {
+        let slot = &mut self.slots[port.0];
+        assert!(
+            slot.is_none(),
+            "CONGEST violation: two messages on {port:?} in one round"
+        );
+        *slot = Some(msg);
+    }
+
+    /// Sends a copy of `msg` over every port.
+    pub fn broadcast(&mut self, msg: M) {
+        for i in 0..self.slots.len() {
+            self.send(Port(i), msg.clone());
+        }
+    }
+
+    /// Sends a copy of `msg` over every port except `skip`.
+    pub fn broadcast_except(&mut self, msg: M, skip: Port) {
+        for i in 0..self.slots.len() {
+            if i != skip.0 {
+                self.send(Port(i), msg.clone());
+            }
+        }
+    }
+
+    /// Whether anything has been queued this round.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+}
+
+/// A per-node automaton executed synchronously by the [`Simulator`].
+pub trait Protocol {
+    /// The message type of this protocol.
+    type Msg: Message;
+
+    /// Executes one synchronous round.
+    ///
+    /// `inbox` holds the messages sent to this node in the previous round,
+    /// ordered by port. Messages queued in `out` are delivered at the start
+    /// of the next round.
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Port, Self::Msg)], out: &mut Outbox<Self::Msg>);
+
+    /// Local termination flag. The simulator stops once every node is done
+    /// *and* no messages are in flight; a node may "un-done" itself if a
+    /// later message re-activates it.
+    fn is_done(&self) -> bool;
+}
+
+/// Errors the simulator can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The protocol did not reach quiescence within the round budget.
+    RoundLimitExceeded {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RoundLimitExceeded { limit } => {
+                write!(f, "protocol did not quiesce within {limit} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Deterministic lockstep executor of a [`Protocol`] over a graph.
+#[derive(Debug)]
+pub struct Simulator<'g, P: Protocol> {
+    graph: &'g Graph,
+    nodes: Vec<P>,
+    /// Messages to deliver at the next round: `pending[v]` sorted by port.
+    pending: Vec<Vec<(Port, P::Msg)>>,
+    round: u64,
+    report: RunReport,
+}
+
+impl<'g, P: Protocol> Simulator<'g, P> {
+    /// Creates a simulator with one automaton per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != graph.node_count()`.
+    pub fn new(graph: &'g Graph, nodes: Vec<P>) -> Self {
+        assert_eq!(
+            nodes.len(),
+            graph.node_count(),
+            "one automaton per node required"
+        );
+        let pending = (0..graph.node_count()).map(|_| Vec::new()).collect();
+        Simulator { graph, nodes, pending, round: 0, report: RunReport::default() }
+    }
+
+    /// The node automata (for output extraction after a run).
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Consumes the simulator, returning the automata and the report.
+    pub fn into_parts(self) -> (Vec<P>, RunReport) {
+        (self.nodes, self.report)
+    }
+
+    /// Statistics accumulated so far.
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// Whether every node is done and no messages are in flight.
+    pub fn quiescent(&self) -> bool {
+        self.pending.iter().all(Vec::is_empty) && self.nodes.iter().all(P::is_done)
+    }
+
+    /// Executes a single round: delivers pending messages, steps every
+    /// automaton, and queues the newly sent messages.
+    pub fn step(&mut self) {
+        let n = self.graph.node_count();
+        let ids: Vec<u64> = (0..n).map(|v| self.graph.id_of(NodeId(v))).collect();
+        let inboxes = std::mem::replace(
+            &mut self.pending,
+            (0..n).map(|_| Vec::new()).collect(),
+        );
+        let mut round_msgs = 0u64;
+        for v in 0..n {
+            let ctx = NodeCtx {
+                node: NodeId(v),
+                id: ids[v],
+                round: self.round,
+                arcs: self.graph.neighbors(NodeId(v)),
+                ids: &ids,
+            };
+            let mut out = Outbox::with_degree(ctx.degree());
+            self.nodes[v].round(&ctx, &inboxes[v], &mut out);
+            for (p, slot) in out.slots.into_iter().enumerate() {
+                let Some(msg) = slot else { continue };
+                let arc = self.graph.neighbors(NodeId(v))[p];
+                // The receiving port: position of this edge in the
+                // receiver's adjacency list.
+                let rp = self
+                    .graph
+                    .neighbors(arc.to)
+                    .iter()
+                    .position(|a| a.edge == arc.edge)
+                    .expect("edge present on both endpoints");
+                let bits = msg.size_bits();
+                self.report.messages += 1;
+                self.report.total_bits += bits;
+                self.report.max_message_bits = self.report.max_message_bits.max(bits);
+                round_msgs += 1;
+                self.pending[arc.to.0].push((Port(rp), msg));
+            }
+        }
+        for inbox in &mut self.pending {
+            inbox.sort_by_key(|(p, _)| *p);
+        }
+        self.report.peak_messages_per_round =
+            self.report.peak_messages_per_round.max(round_msgs);
+        self.round += 1;
+        self.report.rounds = self.round;
+    }
+
+    /// Runs until quiescence or until `max_rounds` rounds were executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RoundLimitExceeded`] if the protocol is still
+    /// active after `max_rounds` rounds.
+    pub fn run(&mut self, max_rounds: u64) -> Result<RunReport, SimError> {
+        while !self.quiescent() {
+            if self.round >= max_rounds {
+                return Err(SimError::RoundLimitExceeded { limit: max_rounds });
+            }
+            self.step();
+        }
+        Ok(self.report.clone())
+    }
+}
+
+/// Convenience: builds a simulator, runs it to quiescence, and returns the
+/// automata plus the report.
+///
+/// # Errors
+///
+/// Propagates [`SimError::RoundLimitExceeded`].
+pub fn run_protocol<P: Protocol>(
+    graph: &Graph,
+    nodes: Vec<P>,
+    max_rounds: u64,
+) -> Result<(Vec<P>, RunReport), SimError> {
+    let mut sim = Simulator::new(graph, nodes);
+    sim.run(max_rounds)?;
+    let (nodes, report) = sim.into_parts();
+    Ok((nodes, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdom_graph::generators::{path, star, GenConfig};
+    use kdom_graph::properties::bfs_distances;
+
+    /// Distributed BFS used as the simulator's own smoke test.
+    #[derive(Clone, Debug)]
+    struct Dist(u32);
+    impl Message for Dist {
+        fn size_bits(&self) -> u64 {
+            32
+        }
+    }
+
+    struct Bfs {
+        source: bool,
+        dist: Option<u32>,
+    }
+
+    impl Protocol for Bfs {
+        type Msg = Dist;
+        fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Port, Dist)], out: &mut Outbox<Dist>) {
+            if self.dist.is_some() {
+                return;
+            }
+            if self.source && ctx.round == 0 {
+                self.dist = Some(0);
+                out.broadcast(Dist(0));
+            } else if let Some((p, m)) = inbox.iter().min_by_key(|(_, m)| m.0) {
+                self.dist = Some(m.0 + 1);
+                out.broadcast_except(Dist(m.0 + 1), *p);
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.dist.is_some()
+        }
+    }
+
+    fn run_bfs(g: &kdom_graph::Graph) -> (Vec<u32>, RunReport) {
+        let nodes = (0..g.node_count())
+            .map(|i| Bfs { source: i == 0, dist: None })
+            .collect();
+        let (nodes, report) = run_protocol(g, nodes, 10_000).unwrap();
+        (nodes.into_iter().map(|b| b.dist.unwrap()).collect(), report)
+    }
+
+    #[test]
+    fn bfs_on_path_matches_reference() {
+        let g = path(&GenConfig::with_seed(12, 0));
+        let (dist, report) = run_bfs(&g);
+        assert_eq!(dist, bfs_distances(&g, NodeId(0)));
+        // eccentricity 11, +1 final processing round
+        assert_eq!(report.rounds, 12);
+        assert_eq!(report.max_message_bits, 32);
+    }
+
+    #[test]
+    fn bfs_on_star_is_constant_time() {
+        let g = star(&GenConfig::with_seed(100, 0));
+        let (dist, report) = run_bfs(&g);
+        assert_eq!(dist, bfs_distances(&g, NodeId(0)));
+        assert_eq!(report.rounds, 2);
+    }
+
+    #[test]
+    fn message_accounting() {
+        let g = path(&GenConfig::with_seed(3, 0));
+        let (_, report) = run_bfs(&g);
+        // node0 sends 1 (to node1), node1 forwards 1 (to node2), node2
+        // has nowhere left to forward => 2 messages
+        assert_eq!(report.messages, 2);
+        assert_eq!(report.total_bits, 2 * 32);
+        assert!(report.peak_messages_per_round >= 1);
+    }
+
+    #[test]
+    fn round_limit_errors() {
+        #[derive(Debug)]
+        struct Chatter;
+        #[derive(Clone, Debug)]
+        struct Ping;
+        impl Message for Ping {}
+        impl Protocol for Chatter {
+            type Msg = Ping;
+            fn round(&mut self, _: &NodeCtx<'_>, _: &[(Port, Ping)], out: &mut Outbox<Ping>) {
+                out.broadcast(Ping);
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        let g = path(&GenConfig::with_seed(2, 0));
+        let err = run_protocol(&g, vec![Chatter, Chatter], 5).unwrap_err();
+        assert_eq!(err, SimError::RoundLimitExceeded { limit: 5 });
+        assert!(err.to_string().contains("5 rounds"));
+    }
+
+    #[test]
+    #[should_panic(expected = "CONGEST violation")]
+    fn double_send_panics() {
+        struct Bad;
+        #[derive(Clone, Debug)]
+        struct Ping;
+        impl Message for Ping {}
+        impl Protocol for Bad {
+            type Msg = Ping;
+            fn round(&mut self, _: &NodeCtx<'_>, _: &[(Port, Ping)], out: &mut Outbox<Ping>) {
+                out.send(Port(0), Ping);
+                out.send(Port(0), Ping);
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        let g = path(&GenConfig::with_seed(2, 0));
+        let _ = run_protocol(&g, vec![Bad, Bad], 5);
+    }
+
+    #[test]
+    fn ports_are_consistent_across_endpoints() {
+        // Send a message carrying the sender's id; receiver verifies the
+        // arrival port's neighbor_id matches.
+        #[derive(Clone, Debug)]
+        struct IdMsg(u64);
+        impl Message for IdMsg {}
+        struct Check {
+            ok: bool,
+            fired: bool,
+        }
+        impl Protocol for Check {
+            type Msg = IdMsg;
+            fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Port, IdMsg)], out: &mut Outbox<IdMsg>) {
+                if ctx.round == 0 {
+                    out.broadcast(IdMsg(ctx.id));
+                    self.fired = true;
+                }
+                for (p, m) in inbox {
+                    if ctx.neighbor_id(*p) != m.0 {
+                        self.ok = false;
+                    }
+                }
+            }
+            fn is_done(&self) -> bool {
+                self.fired
+            }
+        }
+        let g = star(&GenConfig::with_seed(9, 3));
+        let nodes = (0..9).map(|_| Check { ok: true, fired: false }).collect();
+        let (nodes, _) = run_protocol(&g, nodes, 10).unwrap();
+        assert!(nodes.iter().all(|n| n.ok));
+    }
+
+    #[test]
+    fn broadcast_except_skips_port() {
+        let g = path(&GenConfig::with_seed(3, 0));
+        // middle node (degree 2) broadcasts except port 0 at round 0
+        #[derive(Debug)]
+        struct Mid {
+            ticked: bool,
+        }
+        #[derive(Clone, Debug)]
+        struct Ping;
+        impl Message for Ping {}
+        impl Protocol for Mid {
+            type Msg = Ping;
+            fn round(&mut self, ctx: &NodeCtx<'_>, _: &[(Port, Ping)], out: &mut Outbox<Ping>) {
+                if ctx.round == 0 && ctx.degree() == 2 {
+                    out.broadcast_except(Ping, Port(0));
+                }
+                self.ticked = true;
+            }
+            fn is_done(&self) -> bool {
+                self.ticked
+            }
+        }
+        let nodes = (0..3).map(|_| Mid { ticked: false }).collect();
+        let (_, report) = run_protocol(&g, nodes, 10).unwrap();
+        assert_eq!(report.messages, 1);
+        assert_eq!(report.rounds, 2);
+    }
+}

@@ -1,0 +1,286 @@
+//! `BalancedDOM` (Fig. 4): a balanced dominating set on a rooted forest.
+//!
+//! Given a forest whose every component has at least two nodes, the
+//! algorithm produces a dominating set `D` and a partition into *star*
+//! clusters (each cluster = one dominator plus ≥ 1 of its neighbors) such
+//! that (Definition 3.1): `|D| ≤ ⌊n/2⌋`, `D` dominates, and no cluster is
+//! a singleton. It runs in `O(log* n)` (virtual) rounds.
+//!
+//! The module operates on an abstract forest (indices + parent pointers),
+//! so the same code drives both the base tree and the contracted cluster
+//! trees inside the `DOMPartition` family. [`BalancedOut::virtual_rounds`]
+//! reports the exact number of synchronous rounds a per-node execution
+//! uses at this abstraction level; the cluster engine multiplies it by the
+//! current cluster diameter to charge real rounds (see `crate::cluster`).
+
+use crate::coloring::forest_mis;
+
+/// Output of [`balanced_dom`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BalancedOut {
+    /// `dominator[v]` is the index of the cluster center `v` belongs to;
+    /// centers point at themselves. Every cluster is a star: each member
+    /// is adjacent (in the forest) to its center.
+    pub dominator: Vec<usize>,
+    /// Cole–Vishkin iterations used by the MIS subroutine.
+    pub cv_iterations: u32,
+    /// Total virtual rounds: `cv_iterations` color exchanges, 12 rounds of
+    /// MIS sweeps (2 per color class), and 6 rounds for steps (2)–(4) of
+    /// Fig. 4 (choose/announce/fix-up).
+    pub virtual_rounds: u32,
+}
+
+impl BalancedOut {
+    /// The set of cluster centers (the dominating set `D`).
+    pub fn centers(&self) -> Vec<usize> {
+        let mut c: Vec<usize> = self
+            .dominator
+            .iter()
+            .enumerate()
+            .filter(|&(v, &d)| v == d)
+            .map(|(v, _)| v)
+            .collect();
+        c.sort_unstable();
+        c
+    }
+}
+
+/// Runs `BalancedDOM` on the forest described by `parent` (with `ids`
+/// used for symmetry breaking).
+///
+/// # Panics
+///
+/// Panics if some component is a singleton — the paper requires trees of
+/// `n ≥ 2` vertices; the partition algorithms peel singletons off before
+/// calling (steps (3c)/(3-IV) of Fig. 6/7).
+pub fn balanced_dom(parent: &[Option<usize>], ids: &[u64]) -> BalancedOut {
+    let n = parent.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (v, p) in parent.iter().enumerate() {
+        if let Some(p) = p {
+            children[*p].push(v);
+        }
+    }
+    for v in 0..n {
+        assert!(
+            parent[v].is_some() || !children[v].is_empty(),
+            "BalancedDOM requires components of ≥ 2 nodes (node {v} is isolated)"
+        );
+    }
+
+    // Step (1): Small-Dom-Set via tree MIS — the MIS is a dominating set
+    // whose members all have a neighbor outside it (independence), the
+    // property Lemma 3.2 relies on.
+    let (mis, cv_iterations) = forest_mis(parent, ids);
+
+    // Non-MIS nodes pick an MIS neighbor as dominator (prefer the parent,
+    // then the smallest child — deterministic).
+    let mut dominator: Vec<usize> = (0..n).collect();
+    for v in 0..n {
+        if mis[v] {
+            continue;
+        }
+        let pick = parent[v]
+            .filter(|&p| mis[p])
+            .or_else(|| children[v].iter().copied().find(|&c| mis[c]))
+            .expect("MIS maximality: some neighbor is in the MIS");
+        dominator[v] = pick;
+    }
+
+    let chooser_count = |dominator: &[usize], u: usize| -> usize {
+        let mut cnt = 0;
+        if let Some(p) = parent[u] {
+            if dominator[p] == u && p != u {
+                cnt += 1;
+            }
+        }
+        cnt + children[u].iter().filter(|&&c| dominator[c] == u).count()
+    };
+
+    // Step (2): every singleton {v} (an MIS node nobody chose) quits D and
+    // selects an arbitrary neighbor u ∉ D as its dominator.
+    let mut selected: Vec<usize> = Vec::new();
+    let mut pending: Vec<(usize, usize)> = Vec::new(); // (v, u)
+    for v in 0..n {
+        if mis[v] && chooser_count(&dominator, v) == 0 {
+            let u = parent[v].or_else(|| children[v].first().copied()).expect("non-isolated");
+            debug_assert!(!mis[u], "neighbors of an MIS node are outside the MIS");
+            pending.push((v, u));
+            selected.push(u);
+        }
+    }
+
+    // Step (3): each selected u adds itself to D, quits its old cluster,
+    // and forms a new star cluster with everyone who chose it.
+    selected.sort_unstable();
+    selected.dedup();
+    for &u in &selected {
+        dominator[u] = u;
+    }
+    for &(v, u) in &pending {
+        dominator[v] = u;
+    }
+
+    // Step (4): an original dominator x whose cluster became a singleton
+    // (all its members left in step (3)) joins the cluster of one member u
+    // that left, and quits D.
+    for x in 0..n {
+        if !mis[x] || dominator[x] != x {
+            continue;
+        }
+        if chooser_count(&dominator, x) > 0 {
+            continue;
+        }
+        // x's original members were exactly its non-MIS neighbors that had
+        // picked x; the ones that left are now dominators themselves.
+        let left = parent[x]
+            .filter(|&p| dominator[p] == p && p != x && !mis[p])
+            .or_else(|| {
+                children[x]
+                    .iter()
+                    .copied()
+                    .find(|&c| dominator[c] == c && !mis[c])
+            });
+        if let Some(u) = left {
+            dominator[x] = u;
+        }
+        // If nobody left, x still has members and the `chooser_count`
+        // check above already kept it — `left` is `Some` whenever the
+        // cluster is empty (Lemma 3.3's argument); the debug check below
+        // re-validates.
+        debug_assert!(
+            dominator[x] != x || chooser_count(&dominator, x) > 0,
+            "Lemma 3.3: a deserted dominator always has a departed member to follow"
+        );
+    }
+
+    // Virtual-round ledger: one round per CV iteration, 2 rounds per color
+    // class for the MIS sweep, and 2 rounds for each of steps (2)-(4).
+    let virtual_rounds = cv_iterations + 12 + 6;
+    BalancedOut { dominator, cv_iterations, virtual_rounds }
+}
+
+/// Validates the Definition 3.1 contract on the abstract forest:
+/// stars of size ≥ 2, centers adjacent to members, `|D| ≤ ⌊n/2⌋`.
+pub fn check_balanced_forest(parent: &[Option<usize>], out: &BalancedOut) -> Result<(), String> {
+    let n = parent.len();
+    let adjacent = |a: usize, b: usize| parent[a] == Some(b) || parent[b] == Some(a);
+    let mut size = vec![0usize; n];
+    for v in 0..n {
+        let d = out.dominator[v];
+        if d >= n {
+            return Err(format!("node {v} has out-of-range dominator {d}"));
+        }
+        if out.dominator[d] != d {
+            return Err(format!("dominator {d} of {v} is not a center"));
+        }
+        if v != d && !adjacent(v, d) {
+            return Err(format!("node {v} not adjacent to its center {d}"));
+        }
+        size[d] += 1;
+    }
+    let centers = out.centers();
+    for &c in &centers {
+        if size[c] < 2 {
+            return Err(format!("cluster of center {c} is a singleton"));
+        }
+    }
+    if centers.len() > n / 2 {
+        return Err(format!("{} centers exceed ⌊{n}/2⌋", centers.len()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdom_graph::generators::{balanced_tree, caterpillar, path, random_tree, star, GenConfig};
+    use kdom_graph::{NodeId, RootedTree};
+
+    fn forest_of(g: &kdom_graph::Graph) -> (Vec<Option<usize>>, Vec<u64>) {
+        let t = RootedTree::from_graph(g, NodeId(0));
+        let parent = (0..g.node_count())
+            .map(|v| t.parent(NodeId(v)).map(|p| p.0))
+            .collect();
+        let ids = (0..g.node_count()).map(|v| g.id_of(NodeId(v))).collect();
+        (parent, ids)
+    }
+
+    #[test]
+    fn two_node_tree() {
+        let parent = vec![None, Some(0)];
+        let out = balanced_dom(&parent, &[5, 9]);
+        check_balanced_forest(&parent, &out).unwrap();
+        assert_eq!(out.centers().len(), 1);
+    }
+
+    #[test]
+    fn families_satisfy_contract() {
+        for (name, g) in [
+            ("path", path(&GenConfig::with_seed(50, 1))),
+            ("star", star(&GenConfig::with_seed(50, 2))),
+            ("balanced", balanced_tree(&GenConfig::with_seed(50, 3), 3)),
+            ("caterpillar", caterpillar(&GenConfig::with_seed(50, 4), 0.3)),
+        ] {
+            let (parent, ids) = forest_of(&g);
+            let out = balanced_dom(&parent, &ids);
+            check_balanced_forest(&parent, &out)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn many_random_trees() {
+        for seed in 0..40 {
+            let n = 2 + (seed as usize * 7) % 120;
+            let g = random_tree(&GenConfig::with_seed(n, seed));
+            let (parent, ids) = forest_of(&g);
+            let out = balanced_dom(&parent, &ids);
+            check_balanced_forest(&parent, &out)
+                .unwrap_or_else(|e| panic!("n={n} seed={seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn star_collapses_to_one_cluster() {
+        let g = star(&GenConfig::with_seed(20, 5));
+        let (parent, ids) = forest_of(&g);
+        let out = balanced_dom(&parent, &ids);
+        check_balanced_forest(&parent, &out).unwrap();
+        // the hub dominates everything: exactly one cluster
+        assert_eq!(out.centers(), vec![0]);
+    }
+
+    #[test]
+    fn multi_component_forest() {
+        // components: 0-1-2 (path), 3-4 (edge)
+        let parent = vec![None, Some(0), Some(1), None, Some(3)];
+        let ids = vec![11, 22, 33, 44, 55];
+        let out = balanced_dom(&parent, &ids);
+        check_balanced_forest(&parent, &out).unwrap();
+        // clusters cannot span components
+        for v in 0..5 {
+            let d = out.dominator[v];
+            let comp = |x: usize| usize::from(x >= 3);
+            assert_eq!(comp(v), comp(d));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 2 nodes")]
+    fn singleton_component_rejected() {
+        balanced_dom(&[None, None, Some(1)], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn virtual_rounds_are_logstar_ish() {
+        let g = path(&GenConfig::with_seed(5000, 9));
+        let (parent, ids) = forest_of(&g);
+        let out = balanced_dom(&parent, &ids);
+        assert!(
+            out.virtual_rounds <= 18 + 7,
+            "virtual rounds {} should be ~log* n + constants",
+            out.virtual_rounds
+        );
+    }
+}

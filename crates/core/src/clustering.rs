@@ -1,0 +1,198 @@
+//! The clustering/partition type shared by all algorithms.
+//!
+//! A [`Clustering`] assigns every node of a graph to exactly one cluster;
+//! each cluster has a designated *center* (the dominator in the paper's
+//! partitions). Radii are measured inside the cluster's induced subgraph,
+//! matching the paper's definition of `Rad(P)`.
+
+use std::collections::VecDeque;
+
+use kdom_graph::{Graph, NodeId};
+
+/// A partition of a graph's nodes into centered clusters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Clustering {
+    cluster_of: Vec<usize>,
+    centers: Vec<NodeId>,
+}
+
+impl Clustering {
+    /// Builds a clustering from a per-node cluster index and per-cluster
+    /// center.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node's cluster index is out of range, or a center's
+    /// own cluster assignment disagrees.
+    pub fn new(cluster_of: Vec<usize>, centers: Vec<NodeId>) -> Self {
+        for (v, &c) in cluster_of.iter().enumerate() {
+            assert!(c < centers.len(), "node {v} assigned to unknown cluster {c}");
+        }
+        for (c, &ctr) in centers.iter().enumerate() {
+            assert_eq!(
+                cluster_of[ctr.0], c,
+                "center {ctr:?} of cluster {c} is assigned elsewhere"
+            );
+        }
+        Clustering { cluster_of, centers }
+    }
+
+    /// A single cluster covering the whole graph, centered at `center`.
+    pub fn single(n: usize, center: NodeId) -> Self {
+        Clustering { cluster_of: vec![0; n], centers: vec![center] }
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.cluster_of.len()
+    }
+
+    /// The cluster index of `v`.
+    pub fn cluster_of(&self, v: NodeId) -> usize {
+        self.cluster_of[v.0]
+    }
+
+    /// The centers, i.e. the dominating set induced by this partition.
+    pub fn centers(&self) -> &[NodeId] {
+        &self.centers
+    }
+
+    /// The center of cluster `c`.
+    pub fn center(&self, c: usize) -> NodeId {
+        self.centers[c]
+    }
+
+    /// Members of every cluster (index = cluster).
+    pub fn members(&self) -> Vec<Vec<NodeId>> {
+        let mut m = vec![Vec::new(); self.centers.len()];
+        for (v, &c) in self.cluster_of.iter().enumerate() {
+            m[c].push(NodeId(v));
+        }
+        m
+    }
+
+    /// Sizes of all clusters.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.centers.len()];
+        for &c in &self.cluster_of {
+            s[c] += 1;
+        }
+        s
+    }
+
+    /// BFS distances from the center of cluster `c`, restricted to edges
+    /// inside the cluster. Unreachable members get `u32::MAX` (which the
+    /// validity checks reject).
+    fn induced_distances(&self, g: &Graph, c: usize) -> Vec<(NodeId, u32)> {
+        let center = self.centers[c];
+        let mut dist = vec![u32::MAX; g.node_count()];
+        let mut q = VecDeque::new();
+        dist[center.0] = 0;
+        q.push_back(center);
+        while let Some(u) = q.pop_front() {
+            for a in g.neighbors(u) {
+                if self.cluster_of[a.to.0] == c && dist[a.to.0] == u32::MAX {
+                    dist[a.to.0] = dist[u.0] + 1;
+                    q.push_back(a.to);
+                }
+            }
+        }
+        self.cluster_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &cc)| cc == c)
+            .map(|(v, _)| (NodeId(v), dist[v]))
+            .collect()
+    }
+
+    /// Radius of cluster `c` measured inside its induced subgraph
+    /// (`u32::MAX` if the cluster is disconnected).
+    pub fn induced_radius(&self, g: &Graph, c: usize) -> u32 {
+        self.induced_distances(g, c)
+            .into_iter()
+            .map(|(_, d)| d)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum induced radius over all clusters — the paper's `Rad(P)`.
+    pub fn max_radius(&self, g: &Graph) -> u32 {
+        (0..self.centers.len())
+            .map(|c| self.induced_radius(g, c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether every cluster is connected in its induced subgraph.
+    pub fn all_connected(&self, g: &Graph) -> bool {
+        (0..self.centers.len()).all(|c| self.induced_radius(g, c) != u32::MAX)
+    }
+
+    /// Smallest cluster size.
+    pub fn min_size(&self) -> usize {
+        self.sizes().into_iter().min().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdom_graph::generators::{path, GenConfig};
+
+    #[test]
+    fn basic_queries() {
+        let cl = Clustering::new(vec![0, 0, 1, 1, 1], vec![NodeId(0), NodeId(3)]);
+        assert_eq!(cl.cluster_count(), 2);
+        assert_eq!(cl.node_count(), 5);
+        assert_eq!(cl.cluster_of(NodeId(4)), 1);
+        assert_eq!(cl.center(1), NodeId(3));
+        assert_eq!(cl.sizes(), vec![2, 3]);
+        assert_eq!(cl.min_size(), 2);
+        assert_eq!(cl.members()[0], vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn radii_on_a_path() {
+        // path 0-1-2-3-4, clusters {0,1} centered 0 and {2,3,4} centered 3
+        let g = path(&GenConfig::with_seed(5, 0));
+        let cl = Clustering::new(vec![0, 0, 1, 1, 1], vec![NodeId(0), NodeId(3)]);
+        assert_eq!(cl.induced_radius(&g, 0), 1);
+        assert_eq!(cl.induced_radius(&g, 1), 1);
+        assert_eq!(cl.max_radius(&g), 1);
+        assert!(cl.all_connected(&g));
+    }
+
+    #[test]
+    fn disconnected_cluster_detected() {
+        // path 0-1-2: cluster {0,2} is disconnected inside itself
+        let g = path(&GenConfig::with_seed(3, 0));
+        let cl = Clustering::new(vec![0, 1, 0], vec![NodeId(0), NodeId(1)]);
+        assert!(!cl.all_connected(&g));
+        assert_eq!(cl.induced_radius(&g, 0), u32::MAX);
+    }
+
+    #[test]
+    fn single_cluster() {
+        let g = path(&GenConfig::with_seed(4, 0));
+        let cl = Clustering::single(4, NodeId(2));
+        assert_eq!(cl.cluster_count(), 1);
+        assert_eq!(cl.max_radius(&g), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned elsewhere")]
+    fn center_must_live_in_its_cluster() {
+        Clustering::new(vec![0, 0], vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown cluster")]
+    fn cluster_index_bounds_checked() {
+        Clustering::new(vec![0, 5], vec![NodeId(0)]);
+    }
+}

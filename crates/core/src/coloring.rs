@@ -1,0 +1,230 @@
+//! Cole–Vishkin `O(log* n)` coloring and MIS on rooted forests.
+//!
+//! `BalancedDOM` (Fig. 4) needs a maximal independent set on a tree. The
+//! paper plugs in the deterministic `O(log* n)`-round tree MIS of
+//! Goldberg–Plotkin–Shannon \[GPS\]; the classic realization is iterated
+//! Cole–Vishkin bit reduction down to 6 colors followed by one sweep per
+//! color class. This module implements that procedure *iteration-faithfully*
+//! over an abstract rooted forest (indices + parent pointers), so it serves
+//! both the base tree and the contracted cluster trees, and reports the
+//! iteration count that the round-charging model multiplies out.
+
+/// Result of the 6-coloring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForestColoring {
+    /// A proper coloring with values in `0..6`.
+    pub colors: Vec<u8>,
+    /// Number of Cole–Vishkin iterations executed (`O(log* n)`).
+    pub iterations: u32,
+}
+
+/// Lowest bit position where `a` and `b` differ.
+///
+/// # Panics
+///
+/// Panics if `a == b` (callers guarantee proper colorings).
+fn lowest_differing_bit(a: u64, b: u64) -> u32 {
+    assert_ne!(a, b, "colors must differ between neighbors");
+    (a ^ b).trailing_zeros()
+}
+
+/// Iterated Cole–Vishkin reduction of the initial coloring `ids` to a
+/// proper coloring with at most 6 colors.
+///
+/// `parent[v] = None` marks roots; a root acts as if its parent had color
+/// `color(v) XOR 1`, i.e. it always recolors to `bit₀(color(v))`.
+///
+/// # Panics
+///
+/// Panics if `ids` is not a proper coloring of the forest (e.g. duplicate
+/// ids on adjacent nodes) or `parent.len() != ids.len()`.
+pub fn six_color_forest(parent: &[Option<usize>], ids: &[u64]) -> ForestColoring {
+    assert_eq!(parent.len(), ids.len());
+    for (v, p) in parent.iter().enumerate() {
+        if let Some(p) = p {
+            assert!(ids[v] != ids[*p], "initial colors must differ between neighbors");
+        }
+    }
+    let mut colors: Vec<u64> = ids.to_vec();
+    let mut iterations = 0;
+    while colors.iter().any(|&c| c >= 6) {
+        let snapshot = colors.clone();
+        for v in 0..colors.len() {
+            let pc = match parent[v] {
+                Some(p) => snapshot[p],
+                None => snapshot[v] ^ 1,
+            };
+            let i = lowest_differing_bit(snapshot[v], pc);
+            colors[v] = u64::from(2 * i) + ((snapshot[v] >> i) & 1);
+        }
+        iterations += 1;
+        assert!(iterations <= 64 + 8, "Cole–Vishkin failed to converge");
+    }
+    ForestColoring { colors: colors.into_iter().map(|c| c as u8).collect(), iterations }
+}
+
+/// Greedy MIS by color class: for `c = 0..6`, every node of color `c`
+/// without a neighbor already in the set joins. Returns the membership
+/// vector. The result is a maximal independent set of the forest.
+pub fn mis_from_coloring(parent: &[Option<usize>], coloring: &ForestColoring) -> Vec<bool> {
+    let n = parent.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (v, p) in parent.iter().enumerate() {
+        if let Some(p) = p {
+            children[*p].push(v);
+        }
+    }
+    let mut in_mis = vec![false; n];
+    for c in 0..6u8 {
+        for v in 0..n {
+            if coloring.colors[v] != c || in_mis[v] {
+                continue;
+            }
+            let parent_in = parent[v].is_some_and(|p| in_mis[p]);
+            let child_in = children[v].iter().any(|&u| in_mis[u]);
+            if !parent_in && !child_in {
+                in_mis[v] = true;
+            }
+        }
+    }
+    in_mis
+}
+
+/// Convenience: 6-coloring followed by the MIS sweep.
+/// Returns the MIS membership and the Cole–Vishkin iteration count.
+pub fn forest_mis(parent: &[Option<usize>], ids: &[u64]) -> (Vec<bool>, u32) {
+    let coloring = six_color_forest(parent, ids);
+    let mis = mis_from_coloring(parent, &coloring);
+    (mis, coloring.iterations)
+}
+
+/// Checks that `colors` is a proper coloring of the forest.
+pub fn is_proper_coloring(parent: &[Option<usize>], colors: &[u8]) -> bool {
+    parent
+        .iter()
+        .enumerate()
+        .all(|(v, p)| p.is_none_or(|p| colors[v] != colors[p]))
+}
+
+/// Checks that `in_mis` is a maximal independent set of the forest.
+pub fn is_mis(parent: &[Option<usize>], in_mis: &[bool]) -> bool {
+    let n = parent.len();
+    // independence
+    for (v, p) in parent.iter().enumerate() {
+        if let Some(p) = p {
+            if in_mis[v] && in_mis[*p] {
+                return false;
+            }
+        }
+    }
+    // maximality: every non-member has a member neighbor
+    let mut has_member_neighbor = vec![false; n];
+    for (v, p) in parent.iter().enumerate() {
+        if let Some(p) = p {
+            if in_mis[*p] {
+                has_member_neighbor[v] = true;
+            }
+            if in_mis[v] {
+                has_member_neighbor[*p] = true;
+            }
+        }
+    }
+    (0..n).all(|v| in_mis[v] || has_member_neighbor[v])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdom_graph::generators::{balanced_tree, path, random_tree, star, GenConfig};
+    use kdom_graph::{NodeId, RootedTree};
+
+    fn forest_of(g: &kdom_graph::Graph) -> (Vec<Option<usize>>, Vec<u64>) {
+        let t = RootedTree::from_graph(g, NodeId(0));
+        let parent = (0..g.node_count())
+            .map(|v| t.parent(NodeId(v)).map(|p| p.0))
+            .collect();
+        let ids = (0..g.node_count()).map(|v| g.id_of(NodeId(v))).collect();
+        (parent, ids)
+    }
+
+    #[test]
+    fn colors_path() {
+        let g = path(&GenConfig::with_seed(100, 7));
+        let (parent, ids) = forest_of(&g);
+        let c = six_color_forest(&parent, &ids);
+        assert!(c.colors.iter().all(|&x| x < 6));
+        assert!(is_proper_coloring(&parent, &c.colors));
+        assert!(c.iterations <= 6, "log* of 48-bit ids plus slack");
+    }
+
+    #[test]
+    fn mis_on_tree_families() {
+        for (name, g) in [
+            ("path", path(&GenConfig::with_seed(64, 1))),
+            ("star", star(&GenConfig::with_seed(64, 2))),
+            ("balanced", balanced_tree(&GenConfig::with_seed(64, 3), 2)),
+            ("random", random_tree(&GenConfig::with_seed(64, 4))),
+        ] {
+            let (parent, ids) = forest_of(&g);
+            let (mis, _) = forest_mis(&parent, &ids);
+            assert!(is_mis(&parent, &mis), "{name}");
+        }
+    }
+
+    #[test]
+    fn mis_on_many_random_trees() {
+        for seed in 0..25 {
+            let g = random_tree(&GenConfig::with_seed(40 + seed as usize, seed));
+            let (parent, ids) = forest_of(&g);
+            let (mis, iters) = forest_mis(&parent, &ids);
+            assert!(is_mis(&parent, &mis), "seed {seed}");
+            assert!(iters <= 6, "seed {seed}: {iters} iterations");
+        }
+    }
+
+    #[test]
+    fn works_on_true_forests() {
+        // two separate paths: 0-1-2 and 3-4
+        let parent = vec![None, Some(0), Some(1), None, Some(3)];
+        let ids = vec![10, 20, 30, 40, 50];
+        let (mis, _) = forest_mis(&parent, &ids);
+        assert!(is_mis(&parent, &mis));
+    }
+
+    #[test]
+    fn singleton_nodes_join_mis() {
+        let parent = vec![None, None];
+        let ids = vec![7, 9];
+        let (mis, _) = forest_mis(&parent, &ids);
+        assert_eq!(mis, vec![true, true]);
+    }
+
+    #[test]
+    fn iterations_grow_slowly() {
+        // even with adversarially large ids the iteration count stays tiny
+        let n = 1000;
+        let parent: Vec<Option<usize>> = (0..n).map(|v| if v == 0 { None } else { Some(v - 1) }).collect();
+        let ids: Vec<u64> = (0..n as u64).map(|v| v.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let c = six_color_forest(&parent, &ids);
+        assert!(is_proper_coloring(&parent, &c.colors));
+        assert!(c.iterations <= 7, "got {}", c.iterations);
+    }
+
+    #[test]
+    fn is_mis_rejects_bad_sets() {
+        let parent = vec![None, Some(0), Some(1)];
+        // not maximal: node 2 uncovered
+        assert!(!is_mis(&parent, &[true, false, false]));
+        // not independent
+        assert!(!is_mis(&parent, &[true, true, false]));
+        // valid
+        assert!(is_mis(&parent, &[true, false, true]));
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn duplicate_adjacent_ids_rejected() {
+        let parent = vec![None, Some(0)];
+        six_color_forest(&parent, &[5, 5]);
+    }
+}

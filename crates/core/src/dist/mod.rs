@@ -1,0 +1,30 @@
+//! Per-node CONGEST implementations of the paper's protocols.
+//!
+//! Everything in this module runs on the [`kdom_congest`] simulator: each
+//! algorithm is a node automaton, rounds are *measured*, and the outputs
+//! are cross-checked against the sequential references in the parent
+//! modules.
+//!
+//! * [`bfs`] — synchronous BFS-tree construction (the substrate of
+//!   Procedure `Initialize` and of the `Pipeline` convergecast);
+//! * [`election`] — O(Diam) max-id leader election, so the compositions
+//!   can run without an externally designated root;
+//! * [`diamdom`] — `DiamDOM` (Figs. 1–3) over a forest of rooted trees,
+//!   with the paper's staggered census pipelining;
+//! * [`coloring`] — Cole–Vishkin 6-coloring + MIS on rooted forests, the
+//!   measured `O(log* n)` engine behind `BalancedDOM`;
+//! * [`fragments`] — `SimpleMST` (§4.3), the phase-scheduled fragment
+//!   growth with identity refresh, MWOE convergecast and root transfer;
+//! * [`treedp`] — the exact tree k-domination DP as one convergecast +
+//!   one claim flood;
+//! * [`fastdom`] — distributed `FastDOM_T`/`FastDOM_G` compositions with
+//!   a measured within-cluster stage.
+
+pub mod bfs;
+pub mod election;
+pub mod coloring;
+pub mod diamdom;
+pub mod fastdom;
+pub mod fragments;
+pub mod partition1;
+pub mod treedp;

@@ -1,0 +1,327 @@
+//! `SimpleMST` (§4.1–4.4): controlled Borůvka growth of MST fragments.
+//!
+//! The procedure runs `⌈log(k+1)⌉` phases. In phase `i` a fragment is
+//! *active* iff its tree depth is at most `2^i`; active fragments find
+//! their minimum-weight outgoing edge (MWOE) and merge over it. With
+//! distinct weights every selected edge belongs to the unique MST, and
+//! after the last phase every fragment has at least `k+1` nodes
+//! (Lemma 4.2) while the phase budgets keep the total time `O(k)`
+//! (Lemma 4.1).
+//!
+//! This module is the sequential reference used by `FastDOM_G` and by the
+//! tests; the measured per-node CONGEST implementation lives in
+//! [`crate::dist::fragments`] and is cross-checked against this one.
+
+use std::collections::VecDeque;
+
+use kdom_graph::{EdgeId, Graph, NodeId};
+
+use crate::logstar::ceil_log2;
+
+/// Result of the fragment-growing procedure.
+#[derive(Clone, Debug)]
+pub struct Fragments {
+    /// Fragment index of every node.
+    pub fragment_of: Vec<usize>,
+    /// Root node of each fragment (the paper's fragment identity).
+    pub roots: Vec<NodeId>,
+    /// The MST edges selected so far (union over all fragments' trees).
+    pub tree_edges: Vec<EdgeId>,
+    /// Number of phases executed.
+    pub phases: u32,
+}
+
+impl Fragments {
+    /// Number of fragments.
+    pub fn fragment_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Members of each fragment.
+    pub fn members(&self) -> Vec<Vec<NodeId>> {
+        let mut m = vec![Vec::new(); self.roots.len()];
+        for (v, &f) in self.fragment_of.iter().enumerate() {
+            m[f].push(NodeId(v));
+        }
+        m
+    }
+
+    /// The tree edges of each fragment (split of [`Fragments::tree_edges`]).
+    pub fn tree_edges_by_fragment(&self, g: &Graph) -> Vec<Vec<EdgeId>> {
+        let mut out = vec![Vec::new(); self.roots.len()];
+        for &e in &self.tree_edges {
+            let er = g.edge(e);
+            out[self.fragment_of[er.u.0]].push(e);
+        }
+        out
+    }
+}
+
+/// Internal per-fragment state.
+#[derive(Clone, Debug)]
+struct Frag {
+    root: NodeId,
+    members: Vec<NodeId>,
+    alive: bool,
+}
+
+/// Depth of fragment `f`'s tree (distance from its root over selected
+/// tree edges).
+fn fragment_depth(
+    root: NodeId,
+    frag: usize,
+    fragment_of: &[usize],
+    tree_adj: &[Vec<NodeId>],
+) -> u32 {
+    let mut depth = 0;
+    let mut dist = std::collections::HashMap::new();
+    dist.insert(root, 0u32);
+    let mut q = VecDeque::from([root]);
+    while let Some(u) = q.pop_front() {
+        let du = dist[&u];
+        depth = depth.max(du);
+        for &w in &tree_adj[u.0] {
+            if fragment_of[w.0] == frag && !dist.contains_key(&w) {
+                dist.insert(w, du + 1);
+                q.push_back(w);
+            }
+        }
+    }
+    depth
+}
+
+/// Runs `SimpleMST` for parameter `k`, producing a `(k+1, n)` spanning
+/// forest of MST fragments (each fragment spans its nodes with MST edges;
+/// each has ≥ k+1 nodes unless its whole connected component is smaller).
+pub fn simple_mst_forest(g: &Graph, k: usize) -> Fragments {
+    let n = g.node_count();
+    let mut fragment_of: Vec<usize> = (0..n).collect();
+    let mut frags: Vec<Frag> = (0..n)
+        .map(|v| Frag { root: NodeId(v), members: vec![NodeId(v)], alive: true })
+        .collect();
+    let mut tree_edges: Vec<EdgeId> = Vec::new();
+    let mut tree_adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+
+    let phases = ceil_log2(k as u64 + 1);
+    for i in 1..=phases {
+        let budget = 1u32 << i; // 2^i
+        // each active fragment selects its MWOE
+        let mut choice: Vec<Option<EdgeId>> = vec![None; frags.len()];
+        let alive: Vec<usize> = (0..frags.len()).filter(|&f| frags[f].alive).collect();
+        for &f in &alive {
+            let depth = fragment_depth(frags[f].root, f, &fragment_of, &tree_adj);
+            if depth > budget {
+                continue; // halted this phase (may resume later)
+            }
+            let mut best: Option<(u64, EdgeId)> = None;
+            for &v in &frags[f].members {
+                for a in g.neighbors(v) {
+                    if fragment_of[a.to.0] != f {
+                        let cand = (a.weight, a.edge);
+                        if best.is_none_or(|b| cand < b) {
+                            best = Some(cand);
+                        }
+                    }
+                }
+            }
+            choice[f] = best.map(|(_, e)| e);
+        }
+        // merge along the chosen edges: weak components of the functional
+        // graph collapse into one fragment each
+        let mut target: Vec<Option<usize>> = vec![None; frags.len()];
+        for &f in &alive {
+            if let Some(e) = choice[f] {
+                let er = g.edge(e);
+                let other = if fragment_of[er.u.0] == f { er.v } else { er.u };
+                target[f] = Some(fragment_of[other.0]);
+            }
+        }
+        let mut merged = vec![false; frags.len()];
+        for &f in &alive {
+            if merged[f] || target[f].is_none() {
+                continue;
+            }
+            // find the terminal of f's chain: a sink or a 2-cycle core
+            let mut path = vec![f];
+            let mut cur = f;
+            let (terminal_root, component_seed) = loop {
+                match target[cur] {
+                    None => break (frags[cur].root, cur), // sink fragment keeps its root
+                    Some(nxt) => {
+                        if target[nxt] == Some(cur) {
+                            // 2-cycle core: both picked the same edge (distinct
+                            // weights); the endpoint with the higher id roots it
+                            let e = g.edge(choice[cur].expect("cur selected an edge"));
+                            let root = if g.id_of(e.u) > g.id_of(e.v) { e.u } else { e.v };
+                            break (root, cur);
+                        }
+                        if path.contains(&nxt) {
+                            unreachable!("cycles longer than 2 are impossible with distinct weights");
+                        }
+                        path.push(nxt);
+                        cur = nxt;
+                    }
+                }
+            };
+            // gather the weak component containing the terminal
+            let mut comp = Vec::new();
+            let mut stack = vec![component_seed];
+            let mut in_comp = vec![false; frags.len()];
+            in_comp[component_seed] = true;
+            while let Some(x) = stack.pop() {
+                comp.push(x);
+                // forward edge
+                if let Some(t) = target[x] {
+                    if !in_comp[t] {
+                        in_comp[t] = true;
+                        stack.push(t);
+                    }
+                }
+                // reverse edges (only phase-start fragments ever select)
+                for &y in &alive {
+                    if !in_comp[y] && target[y] == Some(x) {
+                        in_comp[y] = true;
+                        stack.push(y);
+                    }
+                }
+            }
+            // create the merged fragment
+            let new_id = frags.len();
+            let mut members = Vec::new();
+            for &x in &comp {
+                members.extend(frags[x].members.iter().copied());
+                frags[x].alive = false;
+                merged[x] = true;
+                if let Some(e) = choice[x] {
+                    let er = g.edge(e);
+                    // the core edge is selected twice; dedupe
+                    if !tree_adj[er.u.0].contains(&er.v) {
+                        tree_edges.push(e);
+                        tree_adj[er.u.0].push(er.v);
+                        tree_adj[er.v.0].push(er.u);
+                    }
+                }
+            }
+            for &m in &members {
+                fragment_of[m.0] = new_id;
+            }
+            frags.push(Frag { root: terminal_root, members, alive: true });
+            merged.push(true);
+        }
+    }
+
+    // compact to alive fragments
+    let alive: Vec<usize> = (0..frags.len()).filter(|&f| frags[f].alive).collect();
+    let remap: std::collections::HashMap<usize, usize> =
+        alive.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+    Fragments {
+        fragment_of: fragment_of.iter().map(|f| remap[f]).collect(),
+        roots: alive.iter().map(|&f| frags[f].root).collect(),
+        tree_edges,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{check_mst_fragments, check_spanning_forest};
+    use kdom_graph::generators::Family;
+    use kdom_graph::mst_ref::kruskal;
+
+    fn check_fragments(g: &Graph, fr: &Fragments, k: usize) {
+        // every selected edge is in the unique MST
+        check_mst_fragments(g, &fr.tree_edges).unwrap();
+        // the selected edges form a (k+1, ·) spanning forest
+        check_spanning_forest(g, &fr.tree_edges, (k + 1).min(g.node_count())).unwrap();
+        // fragment assignment is consistent with the edges
+        let mut dsu = kdom_graph::Dsu::new(g.node_count());
+        for &e in &fr.tree_edges {
+            let er = g.edge(e);
+            dsu.union(er.u, er.v);
+        }
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let same_frag = fr.fragment_of[u.0] == fr.fragment_of[v.0];
+                assert_eq!(same_frag, dsu.same(u, v), "{u:?} vs {v:?}");
+            }
+        }
+        // each root belongs to its fragment
+        for (f, &r) in fr.roots.iter().enumerate() {
+            assert_eq!(fr.fragment_of[r.0], f);
+        }
+    }
+
+    #[test]
+    fn fragments_on_all_families() {
+        for fam in Family::ALL {
+            for k in [1usize, 3, 7] {
+                let g = fam.generate(60, 5);
+                let fr = simple_mst_forest(&g, k);
+                check_fragments(&g, &fr, k);
+            }
+        }
+    }
+
+    #[test]
+    fn large_k_yields_whole_mst() {
+        let g = Family::Gnp.generate(40, 7);
+        let fr = simple_mst_forest(&g, 64);
+        assert_eq!(fr.fragment_count(), 1);
+        let mut ours = fr.tree_edges.clone();
+        ours.sort_unstable();
+        let mut mst = kruskal(&g);
+        mst.sort_unstable();
+        assert_eq!(ours, mst, "k ≥ n makes SimpleMST compute the full MST");
+    }
+
+    #[test]
+    fn k1_does_at_least_one_boruvka_phase() {
+        let g = Family::Grid.generate(49, 3);
+        let fr = simple_mst_forest(&g, 1);
+        assert_eq!(fr.phases, 1);
+        for m in fr.members() {
+            assert!(m.len() >= 2, "one phase pairs everyone up");
+        }
+        check_fragments(&g, &fr, 1);
+    }
+
+    #[test]
+    fn fragment_sizes_meet_k_plus_one() {
+        for seed in 0..10 {
+            let g = Family::RandomTree.generate(100, seed);
+            let k = 7;
+            let fr = simple_mst_forest(&g, k);
+            for m in fr.members() {
+                assert!(m.len() >= k + 1, "seed {seed}: fragment of {} nodes", m.len());
+            }
+        }
+    }
+
+    #[test]
+    fn phase_count_matches_lemma() {
+        let g = Family::Path.generate(100, 1);
+        for (k, expect) in [(1usize, 1u32), (3, 2), (7, 3), (8, 4), (100, 7)] {
+            let fr = simple_mst_forest(&g, k);
+            assert_eq!(fr.phases, expect, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = kdom_graph::GraphBuilder::new(1).build();
+        let fr = simple_mst_forest(&g, 3);
+        assert_eq!(fr.fragment_count(), 1);
+        assert!(fr.tree_edges.is_empty());
+    }
+
+    #[test]
+    fn two_node_graph() {
+        let mut b = kdom_graph::GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 5);
+        let g = b.build();
+        let fr = simple_mst_forest(&g, 4);
+        assert_eq!(fr.fragment_count(), 1);
+        assert_eq!(fr.tree_edges.len(), 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! The level-set construction behind Lemma 2.1 and `DiamDOM` (§2).
+//!
+//! Given a rooted spanning tree of depth `h`, the vertices are split into
+//! levels `T_0, …, T_h` by depth and merged into `k+1` candidate sets
+//! `D_l = ∪_j T_{l + j(k+1)}`. Every `D_l` is a k-dominating set, the sets
+//! partition `V`, and hence the smallest one has at most `⌊n/(k+1)⌋`
+//! nodes. If `k ≥ h`, the root alone suffices.
+
+use kdom_graph::{Graph, NodeId, RootedTree};
+
+use crate::clustering::Clustering;
+use kdom_graph::properties::bfs_parents;
+
+/// The output of the level-set selection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LevelChoice {
+    /// The chosen residue `l` (`None` when `k ≥ h` and the root was used).
+    pub level: Option<usize>,
+    /// The selected k-dominating set.
+    pub dominators: Vec<NodeId>,
+    /// `|D_l|` for every `l` in `0..=k` (what the censuses of `DiamDOM`
+    /// count; empty when `k ≥ h`).
+    pub counts: Vec<usize>,
+}
+
+/// Sizes of the candidate sets `D_0, …, D_k` on a rooted tree.
+pub fn level_counts(t: &RootedTree, k: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; k + 1];
+    for v in 0..t.len() {
+        counts[t.depth(NodeId(v)) as usize % (k + 1)] += 1;
+    }
+    counts
+}
+
+/// Members of `D_l` on a rooted tree.
+pub fn level_set(t: &RootedTree, k: usize, l: usize) -> Vec<NodeId> {
+    (0..t.len())
+        .map(NodeId)
+        .filter(|&v| t.depth(v) as usize % (k + 1) == l)
+        .collect()
+}
+
+/// Selects the smallest candidate set — the sequential reference for
+/// `DiamDOM` (Fig. 3): if `k ≥ h` the root alone, otherwise the `D_l`
+/// with minimum census count (lowest `l` on ties, matching a root that
+/// scans `l = 0..=k`).
+pub fn min_level_choice(t: &RootedTree, k: usize) -> LevelChoice {
+    if k as u32 >= t.height() {
+        return LevelChoice { level: None, dominators: vec![t.root()], counts: Vec::new() };
+    }
+    let counts = level_counts(t, k);
+    let level = counts
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, c)| *c)
+        .map(|(l, _)| l)
+        .expect("k + 1 ≥ 1 candidate sets");
+    LevelChoice { level: Some(level), dominators: level_set(t, k, level), counts }
+}
+
+/// The existence construction of Lemma 2.1 on an arbitrary connected
+/// graph: root a BFS tree at `root` and apply [`min_level_choice`].
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected (the BFS tree would not span it).
+pub fn existence_dominating_set(g: &Graph, root: NodeId, k: usize) -> LevelChoice {
+    let parents = bfs_parents(g, root);
+    let parent: Vec<Option<NodeId>> = parents
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let p = p.unwrap_or_else(|| panic!("graph is disconnected at node {i}"));
+            if i == root.0 {
+                None
+            } else {
+                Some(p)
+            }
+        })
+        .collect();
+    let t = RootedTree::from_parent_array(root, parent);
+    min_level_choice(&t, k)
+}
+
+/// The partition induced by a level choice: every node joins the cluster
+/// of its nearest dominator (the paper's `D(v)`, ties broken by BFS
+/// propagation). Cells of such a Voronoi assignment are connected, so the
+/// clusters are connected with induced radius ≤ k.
+pub fn level_partition(g: &Graph, choice: &LevelChoice) -> Clustering {
+    let centers = choice.dominators.clone();
+    let mut index_of = vec![usize::MAX; g.node_count()];
+    for (i, &d) in centers.iter().enumerate() {
+        index_of[d.0] = i;
+    }
+    let (_, src) = kdom_graph::properties::nearest_source(g, &centers);
+    let cluster_of = src
+        .into_iter()
+        .enumerate()
+        .map(|(v, s)| {
+            let s = s.unwrap_or_else(|| panic!("node {v} not dominated"));
+            index_of[s.0]
+        })
+        .collect();
+    Clustering::new(cluster_of, centers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{check_clusters, check_dominating_size, check_k_dominating};
+    use kdom_graph::generators::{balanced_tree, path, random_tree, star, Family, GenConfig};
+
+    fn rooted(g: &Graph) -> RootedTree {
+        RootedTree::from_graph(g, NodeId(0))
+    }
+
+    #[test]
+    fn path_levels() {
+        let g = path(&GenConfig::with_seed(10, 0));
+        let t = rooted(&g);
+        let counts = level_counts(&t, 2);
+        assert_eq!(counts, vec![4, 3, 3]); // depths 0..9 mod 3
+        let choice = min_level_choice(&t, 2);
+        assert_eq!(choice.level, Some(1));
+        assert_eq!(choice.dominators.len(), 3);
+        check_k_dominating(&g, &choice.dominators, 2).unwrap();
+    }
+
+    #[test]
+    fn deep_k_takes_root_only() {
+        let g = path(&GenConfig::with_seed(5, 0));
+        let t = rooted(&g);
+        let choice = min_level_choice(&t, 10);
+        assert_eq!(choice.level, None);
+        assert_eq!(choice.dominators, vec![NodeId(0)]);
+        check_k_dominating(&g, &choice.dominators, 10).unwrap();
+    }
+
+    #[test]
+    fn star_k1_is_root_only() {
+        // a star has height 1, so k = 1 hits the `k ≥ h` branch
+        let g = star(&GenConfig::with_seed(8, 0));
+        let t = rooted(&g);
+        let choice = min_level_choice(&t, 1);
+        assert_eq!(choice.level, None);
+        assert_eq!(choice.dominators, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn size_bound_always_holds() {
+        // Σ_l |D_l| = n ⟹ the census minimum is ≤ ⌊n/(k+1)⌋ on every tree.
+        for fam in Family::TREES {
+            for n in [2usize, 5, 16, 63, 200] {
+                for k in [1usize, 2, 3, 7] {
+                    let g = fam.generate(n, 42);
+                    let choice = existence_dominating_set(&g, NodeId(0), k);
+                    check_dominating_size(n, k, choice.dominators.len())
+                        .unwrap_or_else(|e| panic!("{fam} n={n} k={k}: {e}"));
+                }
+            }
+        }
+    }
+
+    /// Documents the gap in the extended abstract's Lemma 2.1 sketch: the
+    /// minimum depth-residue class is *not* always k-dominating. On the
+    /// tree `0-1-2-3` (a chain) plus leaf `4` off node 0, with k = 2, the
+    /// class `D_2 = {2}` leaves node 4 at distance 3. The root-completed
+    /// set (`with_root`) and the exact DP of [`crate::treedp`] repair it.
+    #[test]
+    fn level_sets_are_not_always_dominating() {
+        let mut b = kdom_graph::GraphBuilder::new(5);
+        b.add_edge(NodeId(0), NodeId(1), 1);
+        b.add_edge(NodeId(1), NodeId(2), 2);
+        b.add_edge(NodeId(2), NodeId(3), 3);
+        b.add_edge(NodeId(0), NodeId(4), 4);
+        let g = b.build();
+        let t = rooted(&g);
+        let d2 = level_set(&t, 2, 2);
+        assert_eq!(d2, vec![NodeId(2)]);
+        assert!(check_k_dominating(&g, &d2, 2).is_err(), "the EA gap");
+        // the root-completed variant is always k-dominating
+        let mut fixed = d2;
+        fixed.push(t.root());
+        check_k_dominating(&g, &fixed, 2).unwrap();
+    }
+
+    #[test]
+    fn root_completion_dominates_on_all_families() {
+        for fam in Family::TREES {
+            for n in [2usize, 5, 16, 63, 200] {
+                for k in [1usize, 2, 3, 7] {
+                    let g = fam.generate(n, 42);
+                    let mut choice = existence_dominating_set(&g, NodeId(0), k);
+                    if choice.level.is_some_and(|l| l != 0)
+                        && !choice.dominators.contains(&NodeId(0))
+                    {
+                        choice.dominators.push(NodeId(0));
+                    }
+                    check_k_dominating(&g, &choice.dominators, k)
+                        .unwrap_or_else(|e| panic!("{fam} n={n} k={k}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn existence_on_general_graph() {
+        let g = Family::Gnp.generate(100, 3);
+        let choice = existence_dominating_set(&g, NodeId(0), 3);
+        check_dominating_size(100, 3, choice.dominators.len()).unwrap();
+        check_k_dominating(&g, &choice.dominators, 3).unwrap();
+    }
+
+    #[test]
+    fn level_sets_partition_the_tree() {
+        let g = random_tree(&GenConfig::with_seed(50, 1));
+        let t = rooted(&g);
+        let k = 3;
+        let mut seen = vec![false; 50];
+        for l in 0..=k {
+            for v in level_set(&t, k, l) {
+                assert!(!seen[v.0], "levels must be disjoint");
+                seen[v.0] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn partition_has_radius_k_connected_clusters() {
+        for (n, k, seed) in [(40usize, 2usize, 0u64), (80, 3, 1), (100, 5, 2)] {
+            let g = random_tree(&GenConfig::with_seed(n, seed));
+            let t = rooted(&g);
+            let mut choice = min_level_choice(&t, k);
+            if choice.level.is_some_and(|l| l != 0) && !choice.dominators.contains(&NodeId(0)) {
+                choice.dominators.push(NodeId(0)); // root completion
+            }
+            let cl = level_partition(&g, &choice);
+            check_clusters(&g, &cl, 1, k as u32)
+                .unwrap_or_else(|e| panic!("n={n} k={k}: {e}"));
+            assert_eq!(cl.cluster_count(), choice.dominators.len());
+        }
+    }
+
+    #[test]
+    fn partition_handles_shallow_nodes() {
+        // Balanced binary tree where the chosen level is > 0 forces the
+        // "shallow nodes" fallback.
+        let g = balanced_tree(&GenConfig::with_seed(31, 0), 2); // height 4
+        let t = rooted(&g);
+        let k = 1;
+        let choice = min_level_choice(&t, k);
+        // levels mod 2: even depths hold 1+4+16=21, odd 2+8=10 => l = 1
+        assert_eq!(choice.level, Some(1));
+        let cl = level_partition(&g, &choice);
+        check_clusters(&g, &cl, 1, k as u32).unwrap();
+    }
+}

@@ -1,0 +1,38 @@
+//! The Kutten–Peleg PODC'95 algorithms: fast distributed construction of
+//! small k-dominating sets.
+//!
+//! The crate provides, bottom-up:
+//!
+//! * [`logstar`] — `log*` utilities for the time-bound bookkeeping;
+//! * [`levels`] — the Lemma 2.1 level-set construction and the `DiamDOM`
+//!   census reference (Fig. 1–3), including a documented gap in the
+//!   extended abstract's domination argument;
+//! * [`treedp`] — the exact tree k-domination DP used where the
+//!   `⌊n/(k+1)⌋` bound must hold exactly;
+//! * [`coloring`] — Cole–Vishkin `O(log* n)` 6-coloring and MIS on rooted
+//!   forests;
+//! * [`balanced`] — `BalancedDOM` (Fig. 4);
+//! * [`cluster`] — the contraction engine and round-charging model;
+//! * [`partition`] — the `DOMPartition` family (Figs. 5–7);
+//! * [`fragments`] — `SimpleMST` controlled Borůvka fragments (§4);
+//! * [`fastdom`] — `FastDOM_T` / `FastDOM_G` (Theorems 3.2 and 4.4);
+//! * [`clustering`], [`verify`] — shared output types and property
+//!   checkers for every lemma.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balanced;
+pub mod cluster;
+pub mod clustering;
+pub mod coloring;
+pub mod fastdom;
+pub mod fragments;
+pub mod levels;
+pub mod logstar;
+pub mod partition;
+pub mod treedp;
+pub mod verify;
+
+pub use clustering::Clustering;
+pub mod dist;

@@ -1,0 +1,77 @@
+//! The iterated logarithm `log* n` and small helpers.
+//!
+//! The paper's time bounds are stated in terms of `log* n`, the number of
+//! times `log₂` must be applied to `n` before the value drops to ≤ 1. The
+//! experiments print it next to measured iteration counts.
+
+/// Iterated logarithm: smallest `i` such that applying `log₂` to `n`
+/// `i` times yields a value ≤ 1. `log_star(0) = log_star(1) = 0`.
+///
+/// ```
+/// use kdom_core::logstar::log_star;
+/// assert_eq!(log_star(1), 0);
+/// assert_eq!(log_star(2), 1);
+/// assert_eq!(log_star(4), 2);
+/// assert_eq!(log_star(16), 3);
+/// assert_eq!(log_star(65_536), 4);
+/// assert_eq!(log_star(u64::MAX), 5);
+/// ```
+pub fn log_star(n: u64) -> u32 {
+    let mut x = n as f64;
+    let mut i = 0;
+    while x > 1.0 {
+        x = x.log2();
+        i += 1;
+    }
+    i
+}
+
+/// `⌈log₂(n)⌉` with `ceil_log2(0) = 0` and `ceil_log2(1) = 0`.
+///
+/// ```
+/// use kdom_core::logstar::ceil_log2;
+/// assert_eq!(ceil_log2(1), 0);
+/// assert_eq!(ceil_log2(2), 1);
+/// assert_eq!(ceil_log2(3), 2);
+/// assert_eq!(ceil_log2(8), 3);
+/// assert_eq!(ceil_log2(9), 4);
+/// ```
+pub fn ceil_log2(n: u64) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_star_small_values() {
+        assert_eq!(log_star(0), 0);
+        assert_eq!(log_star(3), 2);
+        assert_eq!(log_star(5), 3);
+        assert_eq!(log_star(15), 3);
+        assert_eq!(log_star(17), 4);
+    }
+
+    #[test]
+    fn log_star_is_monotone() {
+        let mut prev = 0;
+        for n in 0..100_000u64 {
+            let v = log_star(n);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn ceil_log2_matches_float() {
+        for n in 1..10_000u64 {
+            let expect = (n as f64).log2().ceil() as u32;
+            assert_eq!(ceil_log2(n), expect, "n = {n}");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Disjoint-set union (union–find) with path halving and union by size.
+//!
+//! Used by the sequential Kruskal reference, by the red-rule edge filter of
+//! the pipelined convergecast, and by several verifiers.
+
+use crate::graph::NodeId;
+
+/// A disjoint-set forest over `n` elements.
+///
+/// ```
+/// use kdom_graph::{Dsu, NodeId};
+///
+/// let mut d = Dsu::new(4);
+/// assert!(d.union(NodeId(0), NodeId(1)));
+/// assert!(!d.union(NodeId(1), NodeId(0)), "already joined");
+/// assert!(d.same(NodeId(0), NodeId(1)));
+/// assert_eq!(d.set_count(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dsu {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    sets: usize,
+}
+
+impl Dsu {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Dsu { parent: (0..n).collect(), size: vec![1; n], sets: n }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Representative of the set containing `v`.
+    pub fn find(&mut self, v: NodeId) -> NodeId {
+        let mut x = v.0;
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        NodeId(x)
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Merges the sets of `a` and `b`. Returns `false` if they were already
+    /// merged.
+    pub fn union(&mut self, a: NodeId, b: NodeId) -> bool {
+        let (ra, rb) = (self.find(a).0, self.find(b).0);
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        self.sets -= 1;
+        true
+    }
+
+    /// Size of the set containing `v`.
+    pub fn set_size(&mut self, v: NodeId) -> usize {
+        let r = self.find(v).0;
+        self.size[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut d = Dsu::new(5);
+        assert_eq!(d.len(), 5);
+        assert!(!d.is_empty());
+        assert_eq!(d.set_count(), 5);
+        for i in 0..5 {
+            assert_eq!(d.find(NodeId(i)), NodeId(i));
+            assert_eq!(d.set_size(NodeId(i)), 1);
+        }
+    }
+
+    #[test]
+    fn chain_unions() {
+        let mut d = Dsu::new(6);
+        for i in 0..5 {
+            assert!(d.union(NodeId(i), NodeId(i + 1)));
+        }
+        assert_eq!(d.set_count(), 1);
+        assert_eq!(d.set_size(NodeId(3)), 6);
+        assert!(d.same(NodeId(0), NodeId(5)));
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut d = Dsu::new(3);
+        assert!(d.union(NodeId(0), NodeId(2)));
+        assert!(!d.union(NodeId(2), NodeId(0)));
+        assert_eq!(d.set_count(), 2);
+    }
+
+    #[test]
+    fn empty() {
+        let d = Dsu::new(0);
+        assert!(d.is_empty());
+        assert_eq!(d.set_count(), 0);
+    }
+}

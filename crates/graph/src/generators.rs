@@ -1,0 +1,601 @@
+//! Deterministic graph generators for the experiments.
+//!
+//! All generators produce graphs with **pairwise-distinct edge weights** and
+//! **pairwise-distinct node identifiers**, the paper's standing assumptions.
+//! Randomized generators are driven by a seed ([`GenConfig::seed`]) so every
+//! experiment is reproducible.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+
+/// Size + seed configuration for the randomized generators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// RNG seed; equal seeds produce equal graphs.
+    pub seed: u64,
+}
+
+impl GenConfig {
+    /// Convenience constructor.
+    pub fn with_seed(n: usize, seed: u64) -> Self {
+        GenConfig { n, seed }
+    }
+}
+
+/// Draws `m` pairwise-distinct weights in `1..=8m+16`, in random order.
+fn distinct_weights(m: usize, rng: &mut StdRng) -> Vec<u64> {
+    let space = 8 * m + 16;
+    let idx = rand::seq::index::sample(rng, space, m);
+    let mut w: Vec<u64> = idx.into_iter().map(|i| i as u64 + 1).collect();
+    w.shuffle(rng);
+    w
+}
+
+/// Random distinct node identifiers (48-bit), so symmetry breaking faces
+/// realistic id entropy.
+fn random_ids(n: usize, rng: &mut StdRng) -> Vec<u64> {
+    let mut ids = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::with_capacity(n);
+    while ids.len() < n {
+        let id: u64 = rng.random_range(0..(1u64 << 48));
+        if seen.insert(id) {
+            ids.push(id);
+        }
+    }
+    ids
+}
+
+/// Assigns random distinct weights/ids to a prepared edge list.
+fn assemble(n: usize, edges: &[(usize, usize)], rng: &mut StdRng) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    let w = distinct_weights(edges.len(), rng);
+    for (&(u, v), &wt) in edges.iter().zip(&w) {
+        b.add_edge(NodeId(u), NodeId(v), wt);
+    }
+    b.ids(random_ids(n, rng));
+    b.build()
+}
+
+/// Path `0 - 1 - … - n-1`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(cfg: &GenConfig) -> Graph {
+    assert!(cfg.n > 0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let edges: Vec<_> = (0..cfg.n - 1).map(|i| (i, i + 1)).collect();
+    assemble(cfg.n, &edges, &mut rng)
+}
+
+/// Cycle on `n ≥ 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(cfg: &GenConfig) -> Graph {
+    assert!(cfg.n >= 3, "a cycle needs at least 3 nodes");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut edges: Vec<_> = (0..cfg.n - 1).map(|i| (i, i + 1)).collect();
+    edges.push((cfg.n - 1, 0));
+    assemble(cfg.n, &edges, &mut rng)
+}
+
+/// Star: node 0 joined to all others.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(cfg: &GenConfig) -> Graph {
+    assert!(cfg.n > 0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let edges: Vec<_> = (1..cfg.n).map(|i| (0, i)).collect();
+    assemble(cfg.n, &edges, &mut rng)
+}
+
+/// Complete graph `K_n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn complete(cfg: &GenConfig) -> Graph {
+    assert!(cfg.n > 0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut edges = Vec::new();
+    for u in 0..cfg.n {
+        for v in u + 1..cfg.n {
+            edges.push((u, v));
+        }
+    }
+    assemble(cfg.n, &edges, &mut rng)
+}
+
+/// Complete `arity`-ary tree with `n` nodes (node `i`'s parent is
+/// `(i-1)/arity`).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `arity == 0`.
+pub fn balanced_tree(cfg: &GenConfig, arity: usize) -> Graph {
+    assert!(cfg.n > 0 && arity > 0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let edges: Vec<_> = (1..cfg.n).map(|i| ((i - 1) / arity, i)).collect();
+    assemble(cfg.n, &edges, &mut rng)
+}
+
+/// Uniform random recursive tree: node `i` attaches to a uniformly random
+/// earlier node. Expected height `Θ(log n)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_tree(cfg: &GenConfig) -> Graph {
+    assert!(cfg.n > 0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let edges: Vec<_> = (1..cfg.n)
+        .map(|i| (rng.random_range(0..i), i))
+        .collect();
+    assemble(cfg.n, &edges, &mut rng)
+}
+
+/// Caterpillar: a spine path of `⌈n·spine_frac⌉` nodes with the remaining
+/// nodes attached as legs to random spine nodes. High-degree, low-ish
+/// diameter trees stress the cluster partitioning.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `spine_frac` is not in `(0, 1]`.
+pub fn caterpillar(cfg: &GenConfig, spine_frac: f64) -> Graph {
+    assert!(cfg.n > 0);
+    assert!(spine_frac > 0.0 && spine_frac <= 1.0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let spine = ((cfg.n as f64 * spine_frac).ceil() as usize).clamp(1, cfg.n);
+    let mut edges: Vec<_> = (0..spine - 1).map(|i| (i, i + 1)).collect();
+    for leg in spine..cfg.n {
+        edges.push((rng.random_range(0..spine), leg));
+    }
+    assemble(cfg.n, &edges, &mut rng)
+}
+
+/// Broom: a path ("handle") of `handle` nodes ending in a star over the
+/// remaining nodes. Large diameter plus a congestion hotspot.
+///
+/// # Panics
+///
+/// Panics if `handle == 0` or `handle > n`.
+pub fn broom(cfg: &GenConfig, handle: usize) -> Graph {
+    assert!(handle > 0 && handle <= cfg.n);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut edges: Vec<_> = (0..handle - 1).map(|i| (i, i + 1)).collect();
+    for leaf in handle..cfg.n {
+        edges.push((handle - 1, leaf));
+    }
+    assemble(cfg.n, &edges, &mut rng)
+}
+
+/// `rows × cols` grid graph — the canonical "diameter ≈ √n" topology where
+/// `FastMST` shines.
+pub fn grid(rows: usize, cols: usize, seed: u64) -> Graph {
+    assert!(rows > 0 && cols > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    assemble(rows * cols, &edges, &mut rng)
+}
+
+/// Erdős–Rényi `G(n, p)` conditioned on connectivity: a uniform random
+/// spanning tree skeleton is added first, then every remaining pair
+/// independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `p` is not in `[0, 1]`.
+pub fn gnp_connected(cfg: &GenConfig, p: f64) -> Graph {
+    assert!(cfg.n > 0);
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Random-permutation recursive-tree skeleton keeps the graph connected.
+    let mut perm: Vec<usize> = (0..cfg.n).collect();
+    perm.shuffle(&mut rng);
+    let mut present = vec![vec![false; cfg.n]; cfg.n];
+    let mut edges = Vec::new();
+    for i in 1..cfg.n {
+        let a = perm[i];
+        let b = perm[rng.random_range(0..i)];
+        present[a][b] = true;
+        present[b][a] = true;
+        edges.push((a, b));
+    }
+    for u in 0..cfg.n {
+        for v in u + 1..cfg.n {
+            if !present[u][v] && rng.random_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    assemble(cfg.n, &edges, &mut rng)
+}
+
+/// Connected graph with exactly `m` edges (`n-1 ≤ m ≤ n(n-1)/2`): a random
+/// spanning tree plus `m - n + 1` random extra edges.
+///
+/// # Panics
+///
+/// Panics if `m` is out of range.
+pub fn random_connected(cfg: &GenConfig, m: usize) -> Graph {
+    let n = cfg.n;
+    assert!(n > 0);
+    let max_m = n * (n - 1) / 2;
+    assert!(m + 1 >= n && m <= max_m, "m out of range for connected graph");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(&mut rng);
+    let mut present = std::collections::HashSet::new();
+    let mut edges = Vec::new();
+    for i in 1..n {
+        let a = perm[i];
+        let b = perm[rng.random_range(0..i)];
+        present.insert((a.min(b), a.max(b)));
+        edges.push((a, b));
+    }
+    while edges.len() < m {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if present.insert(key) {
+            edges.push((u, v));
+        }
+    }
+    assemble(n, &edges, &mut rng)
+}
+
+/// `d`-dimensional hypercube (`n = 2^d` nodes, diameter `d`).
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `d > 20`.
+pub fn hypercube(d: u32, seed: u64) -> Graph {
+    assert!(d >= 1 && d <= 20);
+    let n = 1usize << d;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for b in 0..d {
+            let v = u ^ (1 << b);
+            if u < v {
+                edges.push((u, v));
+            }
+        }
+    }
+    assemble(n, &edges, &mut rng)
+}
+
+/// `rows × cols` torus (grid with wraparound); constant degree 4,
+/// diameter `(rows + cols) / 2`.
+///
+/// # Panics
+///
+/// Panics if either side is smaller than 3.
+pub fn torus(rows: usize, cols: usize, seed: u64) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs sides ≥ 3");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let id = |r: usize, c: usize| (r % rows) * cols + (c % cols);
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            edges.push((id(r, c), id(r, c + 1)));
+            edges.push((id(r, c), id(r + 1, c)));
+        }
+    }
+    assemble(rows * cols, &edges, &mut rng)
+}
+
+/// Expander-ish random graph: the union of `d` random perfect-matching-
+/// like permutation cycles over `n` nodes (connected with overwhelming
+/// probability for `d ≥ 2`; retried until connected). Low diameter at
+/// constant degree — the regime where `FastMST`'s `Diam` term vanishes.
+///
+/// # Panics
+///
+/// Panics if `n < 4` or `d < 2`.
+pub fn expanderish(cfg: &GenConfig, d: usize) -> Graph {
+    assert!(cfg.n >= 4 && d >= 2);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for _attempt in 0..64 {
+        let mut present = std::collections::HashSet::new();
+        let mut edges = Vec::new();
+        for _ in 0..d {
+            let mut perm: Vec<usize> = (0..cfg.n).collect();
+            perm.shuffle(&mut rng);
+            for i in 0..cfg.n {
+                let (a, b) = (perm[i], perm[(i + 1) % cfg.n]);
+                if a != b && present.insert((a.min(b), a.max(b))) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let g = assemble(cfg.n, &edges, &mut rng);
+        if crate::properties::is_connected(&g) {
+            return g;
+        }
+    }
+    unreachable!("union of ≥2 random cycles is connected w.h.p.")
+}
+
+/// Renders the graph in Graphviz DOT format (weights as edge labels),
+/// for debugging and documentation.
+pub fn to_dot(g: &Graph) -> String {
+    use std::fmt::Write;
+    let mut s = String::from("graph kdom {\n");
+    for v in g.nodes() {
+        let _ = writeln!(s, "  n{} [label=\"{}\"];", v.0, g.id_of(v));
+    }
+    for e in g.edges() {
+        let _ = writeln!(s, "  n{} -- n{} [label=\"{}\"];", e.u.0, e.v.0, e.weight);
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// The tree/graph families used across the experiment sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Path graph (max diameter tree).
+    Path,
+    /// Star graph (min diameter tree).
+    Star,
+    /// Balanced binary tree.
+    BalancedBinary,
+    /// Uniform random recursive tree.
+    RandomTree,
+    /// Caterpillar with a 30% spine.
+    Caterpillar,
+    /// Square grid.
+    Grid,
+    /// Connected G(n, p) with expected average degree ≈ 8.
+    Gnp,
+}
+
+impl Family {
+    /// Every family, for sweep loops.
+    pub const ALL: [Family; 7] = [
+        Family::Path,
+        Family::Star,
+        Family::BalancedBinary,
+        Family::RandomTree,
+        Family::Caterpillar,
+        Family::Grid,
+        Family::Gnp,
+    ];
+
+    /// Families whose output is always a tree.
+    pub const TREES: [Family; 5] = [
+        Family::Path,
+        Family::Star,
+        Family::BalancedBinary,
+        Family::RandomTree,
+        Family::Caterpillar,
+    ];
+
+    /// Generates a member of the family with `n` nodes (grids round `n` to a
+    /// square).
+    pub fn generate(self, n: usize, seed: u64) -> Graph {
+        let cfg = GenConfig::with_seed(n, seed);
+        match self {
+            Family::Path => path(&cfg),
+            Family::Star => star(&cfg),
+            Family::BalancedBinary => balanced_tree(&cfg, 2),
+            Family::RandomTree => random_tree(&cfg),
+            Family::Caterpillar => caterpillar(&cfg, 0.3),
+            Family::Grid => {
+                let side = (n as f64).sqrt().round().max(1.0) as usize;
+                grid(side, side, seed)
+            }
+            Family::Gnp => {
+                let p = (8.0 / n as f64).min(1.0);
+                gnp_connected(&cfg, p)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Family::Path => "path",
+            Family::Star => "star",
+            Family::BalancedBinary => "balanced-binary",
+            Family::RandomTree => "random-tree",
+            Family::Caterpillar => "caterpillar",
+            Family::Grid => "grid",
+            Family::Gnp => "gnp",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::{diameter, is_connected, is_tree};
+
+    fn check_invariants(g: &Graph) {
+        assert!(g.has_distinct_weights(), "weights must be distinct");
+        assert!(g.has_distinct_ids(), "ids must be distinct");
+        assert!(is_connected(g), "generators must produce connected graphs");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let cfg = GenConfig::with_seed(40, 9);
+        assert_eq!(random_tree(&cfg), random_tree(&cfg));
+        assert_ne!(
+            random_tree(&cfg),
+            random_tree(&GenConfig::with_seed(40, 10))
+        );
+    }
+
+    #[test]
+    fn trees_are_trees() {
+        for fam in Family::TREES {
+            for n in [1usize, 2, 3, 17, 64] {
+                if n < 1 {
+                    continue;
+                }
+                let g = fam.generate(n, 3);
+                assert!(is_tree(&g), "{fam} on {n} nodes must be a tree");
+                check_invariants(&g);
+            }
+        }
+    }
+
+    #[test]
+    fn path_shape() {
+        let g = path(&GenConfig::with_seed(10, 0));
+        assert_eq!(diameter(&g), 9);
+        check_invariants(&g);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(&GenConfig::with_seed(10, 0));
+        assert_eq!(diameter(&g), 2);
+        assert_eq!(g.degree(NodeId(0)), 9);
+        check_invariants(&g);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(&GenConfig::with_seed(8, 0));
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(diameter(&g), 4);
+        check_invariants(&g);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(&GenConfig::with_seed(7, 0));
+        assert_eq!(g.edge_count(), 21);
+        assert_eq!(diameter(&g), 1);
+        check_invariants(&g);
+    }
+
+    #[test]
+    fn balanced_tree_heights() {
+        let g = balanced_tree(&GenConfig::with_seed(15, 0), 2);
+        let t = crate::tree::RootedTree::from_graph(&g, NodeId(0));
+        assert_eq!(t.height(), 3);
+        check_invariants(&g);
+    }
+
+    #[test]
+    fn broom_shape() {
+        let g = broom(&GenConfig::with_seed(20, 1), 10);
+        assert!(is_tree(&g));
+        assert_eq!(g.degree(NodeId(9)), 11);
+        check_invariants(&g);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(4, 5, 2);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 4 * 4 + 3 * 5);
+        assert_eq!(diameter(&g), 7);
+        check_invariants(&g);
+    }
+
+    #[test]
+    fn gnp_connected_and_dense_enough() {
+        let g = gnp_connected(&GenConfig::with_seed(50, 5), 0.2);
+        check_invariants(&g);
+        assert!(g.edge_count() >= 49);
+    }
+
+    #[test]
+    fn random_connected_edge_count() {
+        for m in [9usize, 20, 45] {
+            let g = random_connected(&GenConfig::with_seed(10, 4), m);
+            assert_eq!(g.edge_count(), m);
+            check_invariants(&g);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn random_connected_rejects_too_few_edges() {
+        random_connected(&GenConfig::with_seed(10, 4), 5);
+    }
+
+    #[test]
+    fn families_generate_all_sizes() {
+        for fam in Family::ALL {
+            let g = fam.generate(30, 11);
+            check_invariants(&g);
+            assert!(g.node_count() >= 25, "{fam} produced too few nodes");
+        }
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4, 1);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 32);
+        assert_eq!(diameter(&g), 4);
+        check_invariants(&g);
+    }
+
+    #[test]
+    fn torus_shape() {
+        let g = torus(4, 6, 2);
+        assert_eq!(g.node_count(), 24);
+        assert_eq!(g.edge_count(), 48);
+        assert_eq!(diameter(&g), 2 + 3);
+        check_invariants(&g);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn expanderish_low_diameter() {
+        let g = expanderish(&GenConfig::with_seed(200, 3), 3);
+        check_invariants(&g);
+        assert!(diameter(&g) <= 12, "expanders have logarithmic diameter");
+        assert!(g.nodes().all(|v| g.degree(v) <= 6));
+    }
+
+    #[test]
+    fn dot_export() {
+        let g = path(&GenConfig::with_seed(3, 0));
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("graph kdom {"));
+        assert!(dot.contains("n0 -- n1"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn caterpillar_spine() {
+        let g = caterpillar(&GenConfig::with_seed(40, 2), 0.3);
+        assert!(is_tree(&g));
+        assert!(diameter(&g) <= 14, "caterpillar diameter ≈ spine length");
+    }
+}

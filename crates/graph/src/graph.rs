@@ -1,0 +1,369 @@
+//! Core graph representation: undirected, weighted, with unique node ids.
+//!
+//! Nodes are dense indices (`NodeId`) into adjacency arrays; every node
+//! additionally carries a unique application-level identifier (`u64`), which
+//! the distributed algorithms use for symmetry breaking, as assumed by the
+//! paper ("nodes have unique identifiers"). Edge weights are `u64` and the
+//! generators guarantee they are pairwise distinct ("each edge is associated
+//! with a distinct weight, known to the adjacent nodes").
+
+use std::fmt;
+
+/// Dense index of a node inside a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns the underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Dense index of an undirected edge inside a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub usize);
+
+impl EdgeId {
+    /// Returns the underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One endpoint-to-endpoint record of an undirected edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EdgeRef {
+    /// Edge index in the graph's edge list.
+    pub id: EdgeId,
+    /// Source endpoint.
+    pub u: NodeId,
+    /// Target endpoint.
+    pub v: NodeId,
+    /// The (distinct) weight of the edge.
+    pub weight: u64,
+}
+
+impl EdgeRef {
+    /// The endpoint of this edge that is not `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of the edge.
+    pub fn other(&self, x: NodeId) -> NodeId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("{x:?} is not an endpoint of {self:?}")
+        }
+    }
+}
+
+/// A neighbor entry in an adjacency list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arc {
+    /// The neighboring node.
+    pub to: NodeId,
+    /// Weight of the connecting edge.
+    pub weight: u64,
+    /// Identifier of the connecting edge.
+    pub edge: EdgeId,
+}
+
+/// An undirected weighted graph with unique node identifiers.
+///
+/// Construct with [`GraphBuilder`] or one of the functions in
+/// [`crate::generators`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<Arc>>,
+    edges: Vec<EdgeRef>,
+    ids: Vec<u64>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node indices.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len()).map(NodeId)
+    }
+
+    /// All edges of the graph.
+    #[inline]
+    pub fn edges(&self) -> &[EdgeRef] {
+        &self.edges
+    }
+
+    /// The edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> EdgeRef {
+        self.edges[e.0]
+    }
+
+    /// Adjacency list of `v`: each entry names a neighbor, the edge weight
+    /// and the edge id.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[Arc] {
+        &self.adj[v.0]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.0].len()
+    }
+
+    /// The unique application-level identifier of `v`.
+    #[inline]
+    pub fn id_of(&self, v: NodeId) -> u64 {
+        self.ids[v.0]
+    }
+
+    /// Looks up a node by its application-level identifier.
+    ///
+    /// Linear scan; intended for tests and verifiers, not hot paths.
+    pub fn node_with_id(&self, id: u64) -> Option<NodeId> {
+        self.ids.iter().position(|&x| x == id).map(NodeId)
+    }
+
+    /// Whether all edge weights are pairwise distinct (the paper's standing
+    /// assumption; all generators in this crate uphold it).
+    pub fn has_distinct_weights(&self) -> bool {
+        let mut w: Vec<u64> = self.edges.iter().map(|e| e.weight).collect();
+        w.sort_unstable();
+        w.windows(2).all(|p| p[0] != p[1])
+    }
+
+    /// Whether all node identifiers are pairwise distinct.
+    pub fn has_distinct_ids(&self) -> bool {
+        let mut ids = self.ids.clone();
+        ids.sort_unstable();
+        ids.windows(2).all(|p| p[0] != p[1])
+    }
+
+    /// Total weight of the edges whose ids are in `set`.
+    pub fn total_weight<I: IntoIterator<Item = EdgeId>>(&self, set: I) -> u128 {
+        set.into_iter().map(|e| u128::from(self.edges[e.0].weight)).sum()
+    }
+
+    /// The edge connecting `u` and `v`, if any.
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeRef> {
+        self.adj[u.0]
+            .iter()
+            .find(|a| a.to == v)
+            .map(|a| self.edges[a.edge.0])
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// ```
+/// use kdom_graph::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId(0), NodeId(1), 10);
+/// b.add_edge(NodeId(1), NodeId(2), 20);
+/// let g = b.build();
+/// assert_eq!(g.degree(NodeId(1)), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId, u64)>,
+    ids: Option<Vec<u64>>,
+}
+
+impl GraphBuilder {
+    /// Starts a graph with `n` isolated nodes whose identifiers default to
+    /// their indices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new(), ids: None }
+    }
+
+    /// Overrides the application-level node identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids.len()` differs from the node count.
+    pub fn ids(&mut self, ids: Vec<u64>) -> &mut Self {
+        assert_eq!(ids.len(), self.n, "one id per node required");
+        self.ids = Some(ids);
+        self
+    }
+
+    /// Adds an undirected edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: u64) -> &mut Self {
+        assert!(u != v, "self loops are not allowed");
+        assert!(u.0 < self.n && v.0 < self.n, "endpoint out of range");
+        self.edges.push((u, v, weight));
+        self
+    }
+
+    /// Number of nodes the builder was created with.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a duplicate (parallel) edge was added.
+    pub fn build(&self) -> Graph {
+        let mut adj: Vec<Vec<Arc>> = vec![Vec::new(); self.n];
+        let mut edges = Vec::with_capacity(self.edges.len());
+        for (i, &(u, v, w)) in self.edges.iter().enumerate() {
+            let id = EdgeId(i);
+            assert!(
+                !adj[u.0].iter().any(|a| a.to == v),
+                "parallel edge {u:?}-{v:?}"
+            );
+            adj[u.0].push(Arc { to: v, weight: w, edge: id });
+            adj[v.0].push(Arc { to: u, weight: w, edge: id });
+            edges.push(EdgeRef { id, u, v, weight: w });
+        }
+        let ids = self
+            .ids
+            .clone()
+            .unwrap_or_else(|| (0..self.n as u64).collect());
+        Graph { adj, edges, ids }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 5);
+        b.add_edge(NodeId(1), NodeId(2), 7);
+        b.add_edge(NodeId(2), NodeId(0), 9);
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn edge_lookup() {
+        let g = triangle();
+        let e = g.edge_between(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(e.weight, 9);
+        assert_eq!(e.other(NodeId(0)), NodeId(2));
+        assert_eq!(e.other(NodeId(2)), NodeId(0));
+        assert!(g.edge_between(NodeId(0), NodeId(0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_panics_for_non_endpoint() {
+        let g = triangle();
+        let e = g.edge_between(NodeId(0), NodeId(1)).unwrap();
+        let _ = e.other(NodeId(2));
+    }
+
+    #[test]
+    fn distinct_weight_check() {
+        let g = triangle();
+        assert!(g.has_distinct_weights());
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 5);
+        b.add_edge(NodeId(1), NodeId(2), 5);
+        assert!(!b.build().has_distinct_weights());
+    }
+
+    #[test]
+    fn custom_ids() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 1);
+        b.ids(vec![100, 200]);
+        let g = b.build();
+        assert_eq!(g.id_of(NodeId(1)), 200);
+        assert_eq!(g.node_with_id(100), Some(NodeId(0)));
+        assert_eq!(g.node_with_id(300), None);
+        assert!(g.has_distinct_ids());
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel edge")]
+    fn parallel_edges_rejected() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 1);
+        b.add_edge(NodeId(1), NodeId(0), 2);
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "self loops")]
+    fn loops_rejected() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(1), NodeId(1), 1);
+    }
+
+    #[test]
+    fn total_weight_sums() {
+        let g = triangle();
+        let all: Vec<EdgeId> = g.edges().iter().map(|e| e.id).collect();
+        assert_eq!(g.total_weight(all), 21);
+    }
+}

@@ -1,0 +1,230 @@
+//! Structural queries: BFS, distances, diameter/radius, connectivity.
+//!
+//! Distances are *unweighted* (hop counts), matching the paper's definition
+//! of `Diam(F)`/`Rad(F)` ("measuring distance in the unweighted sense, i.e.,
+//! in number of hops").
+
+use std::collections::VecDeque;
+
+use crate::graph::{Graph, NodeId};
+
+/// Distance value for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Hop distances from `src` to every node (`UNREACHABLE` if disconnected).
+pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut q = VecDeque::new();
+    dist[src.0] = 0;
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        for a in g.neighbors(u) {
+            if dist[a.to.0] == UNREACHABLE {
+                dist[a.to.0] = dist[u.0] + 1;
+                q.push_back(a.to);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS parents from `src`: `parent[src] = src`, `None` for unreachable nodes.
+pub fn bfs_parents(g: &Graph, src: NodeId) -> Vec<Option<NodeId>> {
+    let mut parent = vec![None; g.node_count()];
+    let mut q = VecDeque::new();
+    parent[src.0] = Some(src);
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        for a in g.neighbors(u) {
+            if parent[a.to.0].is_none() && a.to != src {
+                parent[a.to.0] = Some(u);
+                q.push_back(a.to);
+            }
+        }
+    }
+    parent
+}
+
+/// Maximum finite distance from `v` (its eccentricity within its component).
+pub fn eccentricity(g: &Graph, v: NodeId) -> u32 {
+    bfs_distances(g, v)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Exact diameter via all-pairs BFS (per-component maximum eccentricity).
+///
+/// Quadratic in `n`; intended for experiment-scale graphs.
+pub fn diameter(g: &Graph) -> u32 {
+    g.nodes().map(|v| eccentricity(g, v)).max().unwrap_or(0)
+}
+
+/// Exact radius and a center vertex attaining it.
+///
+/// # Panics
+///
+/// Panics on an empty graph.
+pub fn radius_and_center(g: &Graph) -> (u32, NodeId) {
+    assert!(g.node_count() > 0, "radius of an empty graph");
+    g.nodes()
+        .map(|v| (eccentricity(g, v), v))
+        .min()
+        .expect("non-empty graph")
+}
+
+/// Whether every node is reachable from node 0.
+pub fn is_connected(g: &Graph) -> bool {
+    if g.node_count() == 0 {
+        return true;
+    }
+    bfs_distances(g, NodeId(0)).iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Whether the graph is a tree (connected, `m = n - 1`).
+pub fn is_tree(g: &Graph) -> bool {
+    g.node_count() > 0 && g.edge_count() == g.node_count() - 1 && is_connected(g)
+}
+
+/// Connected components: `comp[v]` is a small component index, and the
+/// number of components is returned alongside.
+pub fn components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    for s in g.nodes() {
+        if comp[s.0] != usize::MAX {
+            continue;
+        }
+        let mut q = VecDeque::new();
+        comp[s.0] = count;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for a in g.neighbors(u) {
+                if comp[a.to.0] == usize::MAX {
+                    comp[a.to.0] = count;
+                    q.push_back(a.to);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count)
+}
+
+/// Multi-source BFS: hop distance from each node to the nearest source, and
+/// which source it is (ties broken by BFS order).
+///
+/// This is exactly the "dominator assignment" of the paper: given a
+/// k-dominating set `D`, `D(v)` is the node of `D` closest to `v`.
+pub fn nearest_source(g: &Graph, sources: &[NodeId]) -> (Vec<u32>, Vec<Option<NodeId>>) {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut src = vec![None; g.node_count()];
+    let mut q = VecDeque::new();
+    for &s in sources {
+        if dist[s.0] == 0 && src[s.0].is_some() {
+            continue; // duplicate source
+        }
+        dist[s.0] = 0;
+        src[s.0] = Some(s);
+        q.push_back(s);
+    }
+    while let Some(u) = q.pop_front() {
+        for a in g.neighbors(u) {
+            if dist[a.to.0] == UNREACHABLE {
+                dist[a.to.0] = dist[u.0] + 1;
+                src[a.to.0] = src[u.0];
+                q.push_back(a.to);
+            }
+        }
+    }
+    (dist, src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(NodeId(i), NodeId(i + 1), (i + 1) as u64);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn path_distances() {
+        let g = path(5);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        assert_eq!(eccentricity(&g, NodeId(2)), 2);
+        assert_eq!(diameter(&g), 4);
+        let (r, c) = radius_and_center(&g);
+        assert_eq!(r, 2);
+        assert_eq!(c, NodeId(2));
+    }
+
+    #[test]
+    fn parents_form_shortest_paths() {
+        let g = path(4);
+        let p = bfs_parents(&g, NodeId(3));
+        assert_eq!(p[3], Some(NodeId(3)));
+        assert_eq!(p[0], Some(NodeId(1)));
+        assert_eq!(p[2], Some(NodeId(3)));
+    }
+
+    #[test]
+    fn connectivity_and_tree() {
+        let g = path(6);
+        assert!(is_connected(&g));
+        assert!(is_tree(&g));
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 1);
+        let g2 = b.build();
+        assert!(!is_connected(&g2));
+        assert!(!is_tree(&g2));
+        let (comp, k) = components(&g2);
+        assert_eq!(k, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn cycle_is_not_tree() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1);
+        b.add_edge(NodeId(1), NodeId(2), 2);
+        b.add_edge(NodeId(2), NodeId(0), 3);
+        assert!(!is_tree(&b.build()));
+    }
+
+    #[test]
+    fn nearest_source_assigns_closest() {
+        let g = path(7);
+        let (dist, src) = nearest_source(&g, &[NodeId(0), NodeId(6)]);
+        assert_eq!(dist, vec![0, 1, 2, 3, 2, 1, 0]);
+        assert_eq!(src[1], Some(NodeId(0)));
+        assert_eq!(src[5], Some(NodeId(6)));
+        assert!(src[3].is_some());
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = GraphBuilder::new(0).build();
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), 0);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1);
+        let g = b.build();
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(bfs_parents(&g, NodeId(0))[2], None);
+    }
+}

@@ -1,0 +1,265 @@
+//! Rooted-tree views of (tree-shaped) graphs.
+//!
+//! A [`RootedTree`] is the standard substrate for the paper's tree
+//! algorithms: it fixes a root, and exposes parent/children/depth arrays and
+//! traversal orders. It can be built over a whole tree graph or from an
+//! explicit parent array (e.g. the output of a distributed BFS).
+
+use crate::graph::{Graph, NodeId};
+use crate::properties;
+
+/// A tree rooted at a designated node, with precomputed parent, children,
+/// depth and BFS order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RootedTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    depth: Vec<u32>,
+    bfs_order: Vec<NodeId>,
+}
+
+impl RootedTree {
+    /// Roots a tree-shaped graph at `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not a tree.
+    pub fn from_graph(g: &Graph, root: NodeId) -> Self {
+        assert!(properties::is_tree(g), "RootedTree requires a tree graph");
+        let parents = properties::bfs_parents(g, root);
+        let parent: Vec<Option<NodeId>> = parents
+            .iter()
+            .enumerate()
+            .map(|(i, p)| if i == root.0 { None } else { *p })
+            .collect();
+        Self::from_parent_array(root, parent)
+    }
+
+    /// Builds the view from a parent array (`None` exactly at the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parent array does not describe a tree spanning all
+    /// indices (cycles or unreachable nodes).
+    pub fn from_parent_array(root: NodeId, parent: Vec<Option<NodeId>>) -> Self {
+        let n = parent.len();
+        assert!(root.0 < n, "root out of range");
+        assert!(parent[root.0].is_none(), "root must have no parent");
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (i, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                children[p.0].push(NodeId(i));
+            } else {
+                assert_eq!(i, root.0, "only the root may lack a parent");
+            }
+        }
+        // BFS from the root over child pointers; also assigns depths and
+        // detects cycles/disconnection (visited count must equal n).
+        let mut depth = vec![0u32; n];
+        let mut bfs_order = Vec::with_capacity(n);
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            bfs_order.push(u);
+            assert!(bfs_order.len() <= n, "cycle in parent array");
+            for &c in &children[u.0] {
+                depth[c.0] = depth[u.0] + 1;
+                queue.push_back(c);
+            }
+        }
+        assert_eq!(bfs_order.len(), n, "parent array does not span all nodes");
+        RootedTree { root, parent, children, depth, bfs_order }
+    }
+
+    /// The root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the tree is empty (never true: a tree has ≥ 1 node).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Parent of `v` (`None` for the root).
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.0]
+    }
+
+    /// Children of `v`.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.0]
+    }
+
+    /// Depth of `v` (root has depth 0). The paper calls this `Depth(v)`.
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v.0]
+    }
+
+    /// Height of the tree: the maximum depth (paper: tree depth `M`).
+    pub fn height(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether `v` is a leaf (no children; the root of a 1-node tree is a
+    /// leaf).
+    #[inline]
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        self.children[v.0].is_empty()
+    }
+
+    /// Nodes in BFS (top-down) order starting at the root.
+    #[inline]
+    pub fn bfs_order(&self) -> &[NodeId] {
+        &self.bfs_order
+    }
+
+    /// Nodes in a bottom-up order (children before parents).
+    pub fn post_order(&self) -> Vec<NodeId> {
+        self.bfs_order.iter().rev().copied().collect()
+    }
+
+    /// Size of the subtree rooted at each node.
+    pub fn subtree_sizes(&self) -> Vec<usize> {
+        let mut size = vec![1usize; self.len()];
+        for &v in self.bfs_order.iter().rev() {
+            if let Some(p) = self.parent[v.0] {
+                size[p.0] += size[v.0];
+            }
+        }
+        size
+    }
+
+    /// All leaves of the tree.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        (0..self.len()).map(NodeId).filter(|&v| self.is_leaf(v)).collect()
+    }
+
+    /// The path from `v` up to the root, inclusive of both.
+    pub fn path_to_root(&self, v: NodeId) -> Vec<NodeId> {
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.0] {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// A small fixed tree:
+    /// ```text
+    ///        0
+    ///       / \
+    ///      1   2
+    ///     /|    \
+    ///    3 4     5
+    /// ```
+    fn sample() -> RootedTree {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(NodeId(0), NodeId(1), 1);
+        b.add_edge(NodeId(0), NodeId(2), 2);
+        b.add_edge(NodeId(1), NodeId(3), 3);
+        b.add_edge(NodeId(1), NodeId(4), 4);
+        b.add_edge(NodeId(2), NodeId(5), 5);
+        RootedTree::from_graph(&b.build(), NodeId(0))
+    }
+
+    #[test]
+    fn structure() {
+        let t = sample();
+        assert_eq!(t.root(), NodeId(0));
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.parent(NodeId(4)), Some(NodeId(1)));
+        assert_eq!(t.parent(NodeId(0)), None);
+        assert_eq!(t.depth(NodeId(5)), 2);
+        assert_eq!(t.height(), 2);
+        assert!(t.is_leaf(NodeId(3)));
+        assert!(!t.is_leaf(NodeId(1)));
+        assert_eq!(t.leaves(), vec![NodeId(3), NodeId(4), NodeId(5)]);
+    }
+
+    #[test]
+    fn orders_and_sizes() {
+        let t = sample();
+        assert_eq!(t.bfs_order()[0], NodeId(0));
+        let sizes = t.subtree_sizes();
+        assert_eq!(sizes[0], 6);
+        assert_eq!(sizes[1], 3);
+        assert_eq!(sizes[2], 2);
+        assert_eq!(sizes[3], 1);
+        let post = t.post_order();
+        // every node appears after all of its children
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 6];
+            for (i, v) in post.iter().enumerate() {
+                p[v.0] = i;
+            }
+            p
+        };
+        for v in 0..6 {
+            if let Some(par) = t.parent(NodeId(v)) {
+                assert!(pos[v] < pos[par.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn path_to_root() {
+        let t = sample();
+        assert_eq!(t.path_to_root(NodeId(4)), vec![NodeId(4), NodeId(1), NodeId(0)]);
+        assert_eq!(t.path_to_root(NodeId(0)), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn from_parent_array_roundtrip() {
+        let t = sample();
+        let parent: Vec<Option<NodeId>> = (0..6).map(|v| t.parent(NodeId(v))).collect();
+        let t2 = RootedTree::from_parent_array(NodeId(0), parent);
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not span")]
+    fn detects_cycle() {
+        // 0 -> root, 1 and 2 form a 2-cycle.
+        let parent = vec![None, Some(NodeId(2)), Some(NodeId(1))];
+        RootedTree::from_parent_array(NodeId(0), parent);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a tree")]
+    fn rejects_non_tree() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1);
+        b.add_edge(NodeId(1), NodeId(2), 2);
+        b.add_edge(NodeId(2), NodeId(0), 3);
+        RootedTree::from_graph(&b.build(), NodeId(0));
+    }
+
+    #[test]
+    fn single_node() {
+        let g = GraphBuilder::new(1).build();
+        let t = RootedTree::from_graph(&g, NodeId(0));
+        assert_eq!(t.height(), 0);
+        assert!(t.is_leaf(NodeId(0)));
+        assert!(!t.is_empty());
+    }
+}

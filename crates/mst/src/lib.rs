@@ -1,0 +1,22 @@
+//! The MST application of Kutten–Peleg PODC'95 (§5).
+//!
+//! * [`pipeline`] — Procedure `Pipeline` (Fig. 8): the fully-pipelined
+//!   convergecast of inter-cluster edges up a BFS tree with local red-rule
+//!   elimination, instrumented to *measure* the paper's headline
+//!   pipelining claim (Lemma 5.3: no interior node ever stalls);
+//! * [`fastmst`] — `Fast-MST` (Theorem 5.6): `FastDOM_G(k = √n)` followed
+//!   by `Pipeline`, for `O(√n log* n + Diam(G))` rounds;
+//! * [`baselines`] — the comparators: an Awerbuch-style `O(n)` phase-
+//!   doubling MST, a collect-everything-at-root MST, and a pipeline-only
+//!   (singleton-cluster) MST.
+//!
+//! All distributed components run on the `kdom-congest` simulator with
+//! measured rounds; only the `DOMPartition` stage inside `Fast-MST` uses
+//! the charged-round model (see `kdom-core::cluster` and DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod fastmst;
+pub mod pipeline;

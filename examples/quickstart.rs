@@ -1,0 +1,48 @@
+//! Quickstart: compute a small k-dominating set of a random network and
+//! verify every property the paper promises.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use kdom::core::fastdom::fast_dom_g;
+use kdom::core::verify::{check_fastdom_output, dominating_size_bound};
+use kdom::graph::generators::{gnp_connected, GenConfig};
+
+fn main() {
+    // A connected random network of 300 nodes, average degree ≈ 8.
+    let n = 300;
+    let g = gnp_connected(&GenConfig::with_seed(n, 42), 8.0 / n as f64);
+    let k = 5;
+
+    // FastDOM_G (Theorem 4.4): a k-dominating set of ≤ n/(k+1) nodes plus
+    // the partition into radius-≤k clusters around the dominators.
+    let result = fast_dom_g(&g, k);
+
+    println!("graph: n = {n}, m = {}", g.edge_count());
+    println!("k = {k}");
+    println!(
+        "dominating set: {} nodes (bound: {})",
+        result.dominators().len(),
+        dominating_size_bound(n, k)
+    );
+    println!(
+        "partition: {} clusters, max radius {}",
+        result.clustering.cluster_count(),
+        result.clustering.max_radius(&g)
+    );
+    println!("charged rounds: {} (O(k log* n))", result.charge.rounds);
+
+    // Check Theorem 4.4's full contract.
+    check_fastdom_output(&g, &result.clustering, k).expect("Theorem 4.4 contract");
+    println!("every node is within {k} hops of a dominator ✓");
+
+    // Show a few dominators.
+    let show: Vec<String> = result
+        .dominators()
+        .iter()
+        .take(8)
+        .map(|d| format!("{d}"))
+        .collect();
+    println!("first dominators: {}", show.join(", "));
+}

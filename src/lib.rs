@@ -1,0 +1,36 @@
+//! # kdom — Fast Distributed Construction of k-Dominating Sets
+//!
+//! A Rust reproduction of **Kutten & Peleg, "Fast Distributed Construction
+//! of k-Dominating Sets and Applications", PODC 1995**: the `O(k log* n)`
+//! distributed k-dominating-set algorithms and the
+//! `O(√n log* n + Diam(G))` distributed minimum spanning tree built on top
+//! of them, all running on a deterministic synchronous CONGEST simulator.
+//!
+//! The workspace is split into four library crates, re-exported here:
+//!
+//! * [`graph`] — graph substrate (representation, generators, properties,
+//!   sequential MST references);
+//! * [`congest`] — the synchronous CONGEST-model simulator;
+//! * [`core`] — the paper's k-dominating-set algorithms (`DiamDOM`,
+//!   `BalancedDOM`, the `DOMPartition` family, `FastDOM_T`, `FastDOM_G`);
+//! * [`mst`] — the MST application (`SimpleMST`, the pipelined edge
+//!   elimination, `FastMST`) and its baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kdom::graph::generators::{gnp_connected, GenConfig};
+//! use kdom::core::fastdom::fast_dom_g;
+//! use kdom::core::verify::check_k_dominating;
+//!
+//! let g = gnp_connected(&GenConfig::with_seed(200, 1), 0.05);
+//! let k = 4;
+//! let out = fast_dom_g(&g, k);
+//! check_k_dominating(&g, out.dominators(), k).unwrap();
+//! assert!(out.dominators().len() <= (200 / (k + 1)).max(1));
+//! ```
+
+pub use kdom_congest as congest;
+pub use kdom_core as core;
+pub use kdom_graph as graph;
+pub use kdom_mst as mst;

@@ -1,0 +1,83 @@
+//! Property tests for the synchronizer-α executor: arbitrary protocols,
+//! graphs, and delay seeds must reproduce the synchronous outputs.
+
+use proptest::prelude::*;
+
+use kdom::congest::{run_protocol, run_protocol_alpha};
+use kdom::core::dist::diamdom::{DiamDomNode, TreeConfig};
+use kdom::core::dist::election::ElectionNode;
+use kdom::graph::generators::{gnp_connected, GenConfig};
+use kdom::graph::{Graph, NodeId};
+
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (4usize..40, any::<u64>(), 0.05f64..0.3)
+        .prop_map(|(n, seed, p)| gnp_connected(&GenConfig::with_seed(n, seed), p))
+}
+
+fn diamdom_nodes(g: &Graph, k: usize) -> Vec<DiamDomNode> {
+    let (bfs, _) = kdom::core::dist::bfs::run_bfs(g, NodeId(0));
+    bfs.iter()
+        .map(|b| {
+            DiamDomNode::new(TreeConfig {
+                parent: b.parent,
+                children: b.children.clone(),
+                k,
+                preset_depth: b.depth,
+            })
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Leader election under α always agrees on the max id, for any
+    /// delay pattern.
+    #[test]
+    fn election_alpha_agrees(g in graph_strategy(), seed in any::<u64>(), delay in 1u64..6) {
+        let nodes = (0..g.node_count()).map(|_| ElectionNode::new()).collect();
+        let (nodes, _) = run_protocol_alpha(&g, nodes, seed, delay, 500_000).unwrap();
+        let max_id = g.nodes().map(|v| g.id_of(v)).max().unwrap();
+        prop_assert!(nodes.iter().all(|n| n.best == max_id));
+    }
+
+    /// The schedule-driven DiamDOM census protocol — the hardest case for
+    /// a synchronizer, since everything hangs off exact round numbers —
+    /// produces the identical dominating set under α.
+    #[test]
+    fn diamdom_alpha_matches_sync(g in graph_strategy(), seed in any::<u64>()) {
+        let k = 2;
+        let sync = run_protocol(&g, diamdom_nodes(&g, k), 100_000).unwrap().0;
+        let alpha = run_protocol_alpha(&g, diamdom_nodes(&g, k), seed, 3, 2_000_000)
+            .unwrap()
+            .0;
+        for v in 0..g.node_count() {
+            prop_assert_eq!(sync[v].is_dominator, alpha[v].is_dominator, "node {}", v);
+            prop_assert_eq!(sync[v].chosen, alpha[v].chosen);
+        }
+    }
+
+    /// α never loses or duplicates payload messages: the payload count
+    /// equals the synchronous message count.
+    #[test]
+    fn alpha_payload_count_matches(g in graph_strategy(), seed in any::<u64>()) {
+        let k = 2;
+        let (_, sync_report) = run_protocol(&g, diamdom_nodes(&g, k), 100_000).unwrap();
+        let (_, alpha_report) =
+            run_protocol_alpha(&g, diamdom_nodes(&g, k), seed, 4, 2_000_000).unwrap();
+        prop_assert_eq!(alpha_report.payload_messages, sync_report.messages);
+    }
+}
+
+/// Root-free Fast-MST stays correct across topologies (deterministic
+/// spot-check kept outside proptest for speed).
+#[test]
+fn elected_fast_mst_is_correct() {
+    use kdom::graph::generators::Family;
+    use kdom::graph::mst_ref::is_mst;
+    for fam in [Family::Grid, Family::Gnp, Family::RandomTree] {
+        let g = fam.generate(120, 44);
+        let run = kdom::mst::fastmst::fast_mst_elected(&g);
+        assert!(is_mst(&g, &run.mst_edges), "{fam}");
+    }
+}
