@@ -1,6 +1,7 @@
-//! Criterion bench behind E3: distributed BalancedDOM (CV + MIS + fix-ups).
+//! Wall-clock bench behind E3: distributed BalancedDOM (CV + MIS + fix-ups).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use kdom_bench::harness::Criterion;
+use kdom_bench::{criterion_group, criterion_main};
 use kdom_congest::Port;
 use kdom_core::dist::coloring::{BalancedConfig, BalancedNode};
 use kdom_graph::generators::Family;

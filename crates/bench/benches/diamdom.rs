@@ -1,7 +1,8 @@
-//! Criterion bench behind E2: simulation wall-clock of distributed
+//! Wall-clock bench behind E2: simulation wall-clock of distributed
 //! DiamDOM across graph families and k.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use kdom_bench::harness::Criterion;
+use kdom_bench::{criterion_group, criterion_main};
 use kdom_core::dist::diamdom::run_diamdom;
 use kdom_graph::generators::Family;
 use kdom_graph::NodeId;

@@ -1,6 +1,7 @@
-//! Criterion bench behind E6/E8: FastDOM_T and FastDOM_G.
+//! Wall-clock bench behind E6/E8: FastDOM_T and FastDOM_G.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use kdom_bench::harness::Criterion;
+use kdom_bench::{criterion_group, criterion_main};
 use kdom_core::fastdom::{fast_dom_g, fast_dom_t, WithinCluster};
 use kdom_graph::generators::Family;
 

@@ -1,6 +1,7 @@
-//! Criterion bench behind E10/E15/E16: Fast-MST vs the baselines.
+//! Wall-clock bench behind E10/E15/E16: Fast-MST vs the baselines.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use kdom_bench::harness::Criterion;
+use kdom_bench::{criterion_group, criterion_main};
 use kdom_graph::generators::Family;
 use kdom_mst::baselines::{phase_doubling_mst, pipeline_only_mst};
 use kdom_mst::fastmst::fast_mst;

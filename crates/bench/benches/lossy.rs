@@ -1,0 +1,55 @@
+//! Wall-clock bench of the recovery stack: protocols over the reliable α
+//! transport at increasing per-link loss rates. Quantifies what the
+//! reliability assumption is worth — the 0% row is the pure synchronizer
+//! overhead, the lossy rows add ARQ timers and retransmissions.
+
+use kdom_bench::harness::Criterion;
+use kdom_bench::{criterion_group, criterion_main};
+use kdom_congest::{run_protocol_alpha_reliable, FaultPlan};
+use kdom_core::dist::bfs::BfsNode;
+use kdom_core::dist::election::ElectionNode;
+use kdom_graph::generators::Family;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lossy");
+    let graph = Family::Gnp.generate(120, 47);
+    for loss_pct in [0u32, 10, 30] {
+        let plan = FaultPlan::new(u64::from(loss_pct) + 1).drop_prob(f64::from(loss_pct) / 100.0);
+        g.bench_function(format!("bfs/n120/loss{loss_pct}"), |b| {
+            b.iter(|| {
+                let nodes = (0..graph.node_count())
+                    .map(|v| BfsNode::new(v == 0))
+                    .collect();
+                run_protocol_alpha_reliable(
+                    std::hint::black_box(&graph),
+                    nodes,
+                    7,
+                    2,
+                    &plan,
+                    1_000_000,
+                )
+                .unwrap()
+            })
+        });
+        g.bench_function(format!("election/n120/loss{loss_pct}"), |b| {
+            b.iter(|| {
+                let nodes = (0..graph.node_count())
+                    .map(|_| ElectionNode::new())
+                    .collect();
+                run_protocol_alpha_reliable(
+                    std::hint::black_box(&graph),
+                    nodes,
+                    7,
+                    2,
+                    &plan,
+                    1_000_000,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,6 +1,7 @@
-//! Criterion bench behind E4/E5: the DOMPartition family.
+//! Wall-clock bench behind E4/E5: the DOMPartition family.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use kdom_bench::harness::Criterion;
+use kdom_bench::{criterion_group, criterion_main};
 use kdom_core::partition::{dom_partition, dom_partition_1, dom_partition_2};
 use kdom_graph::generators::Family;
 use kdom_graph::NodeId;

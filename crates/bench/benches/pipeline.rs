@@ -1,7 +1,8 @@
-//! Criterion bench behind E9/E11: the pipelined convergecast and its
+//! Wall-clock bench behind E9/E11: the pipelined convergecast and its
 //! barrier ablation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use kdom_bench::harness::Criterion;
+use kdom_bench::{criterion_group, criterion_main};
 use kdom_graph::generators::Family;
 use kdom_graph::NodeId;
 use kdom_mst::pipeline::run_pipeline;
@@ -12,10 +13,26 @@ fn bench(c: &mut Criterion) {
         let graph = fam.generate(256, 53);
         let clusters: Vec<u64> = graph.nodes().map(|v| graph.id_of(v)).collect();
         g.bench_function(format!("{fam}/pipelined"), |b| {
-            b.iter(|| run_pipeline(std::hint::black_box(&graph), NodeId(0), &clusters, true, false))
+            b.iter(|| {
+                run_pipeline(
+                    std::hint::black_box(&graph),
+                    NodeId(0),
+                    &clusters,
+                    true,
+                    false,
+                )
+            })
         });
         g.bench_function(format!("{fam}/barrier"), |b| {
-            b.iter(|| run_pipeline(std::hint::black_box(&graph), NodeId(0), &clusters, true, true))
+            b.iter(|| {
+                run_pipeline(
+                    std::hint::black_box(&graph),
+                    NodeId(0),
+                    &clusters,
+                    true,
+                    true,
+                )
+            })
         });
     }
     g.finish();

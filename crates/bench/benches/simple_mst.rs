@@ -1,6 +1,7 @@
-//! Criterion bench behind E7: the distributed SimpleMST fragment growth.
+//! Wall-clock bench behind E7: the distributed SimpleMST fragment growth.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use kdom_bench::harness::Criterion;
+use kdom_bench::{criterion_group, criterion_main};
 use kdom_core::dist::fragments::run_simple_mst;
 use kdom_graph::generators::Family;
 

@@ -36,7 +36,11 @@ fn main() -> ExitCode {
     println!(
         "\n{} experiment(s); {}",
         tables.len(),
-        if ok { "all checks passed" } else { "SOME CHECKS FAILED" }
+        if ok {
+            "all checks passed"
+        } else {
+            "SOME CHECKS FAILED"
+        }
     );
     if ok {
         ExitCode::SUCCESS

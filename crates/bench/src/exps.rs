@@ -5,6 +5,7 @@
 //! checked property held. `EXPERIMENTS.md` is the curated record of one
 //! full run.
 
+use kdom_congest::Port;
 use kdom_core::cluster::Charge;
 use kdom_core::dist::coloring::{cv_schedule, BalancedConfig, BalancedNode};
 use kdom_core::dist::diamdom::run_diamdom;
@@ -20,7 +21,6 @@ use kdom_core::verify::{
 use kdom_graph::generators::Family;
 use kdom_graph::mst_ref::is_mst;
 use kdom_graph::properties::diameter;
-use kdom_congest::Port;
 use kdom_graph::{Graph, NodeId, RootedTree};
 use kdom_mst::baselines::{collect_all_mst, phase_doubling_mst, pipeline_only_mst};
 use kdom_mst::fastmst::{fast_mst, fast_mst_with_k};
@@ -90,7 +90,17 @@ pub fn e1(quick: bool) -> Table {
 pub fn e2(quick: bool) -> Table {
     let mut t = Table::new(
         "E2 — Lemma 2.3: DiamDOM rounds vs 5·Diam + k",
-        &["family", "n", "k", "Diam", "rounds", "bound", "≤bound", "|D|", "≤⌊n/(k+1)⌋+1"],
+        &[
+            "family",
+            "n",
+            "k",
+            "Diam",
+            "rounds",
+            "bound",
+            "≤bound",
+            "|D|",
+            "≤⌊n/(k+1)⌋+1",
+        ],
     );
     for fam in Family::ALL {
         for &n in &sizes(quick, &[128, 512]) {
@@ -129,13 +139,27 @@ pub fn e2(quick: bool) -> Table {
 pub fn e3(quick: bool) -> Table {
     let mut t = Table::new(
         "E3 — Lemma 3.3: BalancedDOM rounds are O(log* n)",
-        &["n", "log*~n", "cv iters", "rounds", "|D|", "≤⌊n/2⌋", "min cluster", "≥2"],
+        &[
+            "n",
+            "log*~n",
+            "cv iters",
+            "rounds",
+            "|D|",
+            "≤⌊n/2⌋",
+            "min cluster",
+            "≥2",
+        ],
     );
     for &n in &sizes(quick, &[64, 512, 4096, 16384]) {
         let g = Family::RandomTree.generate(n, 29);
         let tree = RootedTree::from_graph(&g, NodeId(0));
         let port_to = |v: NodeId, to: NodeId| {
-            Port(g.neighbors(v).iter().position(|a| a.to == to).expect("tree edge"))
+            Port(
+                g.neighbors(v)
+                    .iter()
+                    .position(|a| a.to == to)
+                    .expect("tree edge"),
+            )
         };
         let nodes: Vec<BalancedNode> = (0..n)
             .map(|v| {
@@ -180,7 +204,16 @@ pub fn e3(quick: bool) -> Table {
 pub fn e4(quick: bool) -> Table {
     let mut t = Table::new(
         "E4 — Lemma 3.4: DOMPartition_1 bounds",
-        &["n", "k", "clusters", "min size", "≥k+1", "max rad", "≤4k²", "charged rounds"],
+        &[
+            "n",
+            "k",
+            "clusters",
+            "min size",
+            "≥k+1",
+            "max rad",
+            "≤4k²",
+            "charged rounds",
+        ],
     );
     let n = if quick { 256 } else { 2048 };
     for k in [2usize, 4, 8, 16] {
@@ -189,7 +222,7 @@ pub fn e4(quick: bool) -> Table {
         let res = dom_partition_1(&g, nodes, &edges, k);
         let cl = kdom_core::fastdom::clusters_to_clustering(n, &res.clusters);
         let max_rad = cl.max_radius(&g);
-        let ok_s = t.check(res.min_size() >= k + 1).to_string();
+        let ok_s = t.check(res.min_size() > k).to_string();
         let ok_r = t.check(max_rad <= 4 * (k as u32) * (k as u32)).to_string();
         t.row(vec![
             n.to_string(),
@@ -210,7 +243,16 @@ pub fn e4(quick: bool) -> Table {
 pub fn e5(quick: bool) -> Table {
     let mut t = Table::new(
         "E5 — Lemmas 3.6-3.8: DOMPartition_2 vs DOMPartition (Fig. 7 capping)",
-        &["family/n", "k", "rad_2", "rad_full", "≤5k+2", "rounds_2", "rounds_full", "ratio"],
+        &[
+            "family/n",
+            "k",
+            "rad_2",
+            "rad_full",
+            "≤5k+2",
+            "rounds_2",
+            "rounds_full",
+            "ratio",
+        ],
     );
     let n = if quick { 512 } else { 4096 };
     for fam in [Family::Path, Family::Caterpillar, Family::RandomTree] {
@@ -225,7 +267,7 @@ pub fn e5(quick: bool) -> Table {
             let (rad2, radf) = (cl2.max_radius(&g), clf.max_radius(&g));
             let bound = 5 * k as u32 + 2;
             let ok = t.check(rad2 <= bound && radf <= bound).to_string();
-            t.check(r2.min_size() >= k + 1 && rf.min_size() >= k + 1);
+            t.check(r2.min_size() > k && rf.min_size() > k);
             let ratio = r2.charge.rounds as f64 / rf.charge.rounds.max(1) as f64;
             t.row(vec![
                 format!("{fam}/{n}"),
@@ -248,7 +290,17 @@ pub fn e5(quick: bool) -> Table {
 pub fn e6(quick: bool) -> Table {
     let mut t = Table::new(
         "E6 — Theorem 3.2: FastDOM_T on trees",
-        &["family", "n", "k", "|D|", "bound", "ok", "Rad(P)", "≤k", "charged rounds"],
+        &[
+            "family",
+            "n",
+            "k",
+            "|D|",
+            "bound",
+            "ok",
+            "Rad(P)",
+            "≤k",
+            "charged rounds",
+        ],
     );
     for fam in Family::TREES {
         for &n in &sizes(quick, &[256, 1024]) {
@@ -282,7 +334,16 @@ pub fn e6(quick: bool) -> Table {
 pub fn e7(quick: bool) -> Table {
     let mut t = Table::new(
         "E7 — Lemmas 4.1-4.3: SimpleMST fragments",
-        &["n", "k", "rounds", "schedule", "fragments", "min size", "≥k+1", "⊆MST"],
+        &[
+            "n",
+            "k",
+            "rounds",
+            "schedule",
+            "fragments",
+            "min size",
+            "≥k+1",
+            "⊆MST",
+        ],
     );
     let n = if quick { 256 } else { 1024 };
     let g = Family::Grid.generate(n, 43);
@@ -320,7 +381,15 @@ pub fn e7(quick: bool) -> Table {
 pub fn e8(quick: bool) -> Table {
     let mut t = Table::new(
         "E8 — Theorem 4.4: FastDOM_G on general graphs",
-        &["family", "n", "k", "|D|", "bound", "ok", "measured+charged rounds"],
+        &[
+            "family",
+            "n",
+            "k",
+            "|D|",
+            "bound",
+            "ok",
+            "measured+charged rounds",
+        ],
     );
     for fam in [Family::Grid, Family::Gnp, Family::RandomTree] {
         for &n in &sizes(quick, &[256, 1024]) {
@@ -351,7 +420,17 @@ pub fn e8(quick: bool) -> Table {
 pub fn e9(quick: bool) -> Table {
     let mut t = Table::new(
         "E9 — Lemmas 5.3/5.5: Pipeline is fully pipelined",
-        &["family", "n", "N", "Diam", "collect rounds", "N+2·Diam+16", "≤", "stalls", "violations"],
+        &[
+            "family",
+            "n",
+            "N",
+            "Diam",
+            "collect rounds",
+            "N+2·Diam+16",
+            "≤",
+            "stalls",
+            "violations",
+        ],
     );
     for fam in Family::ALL {
         let n = if quick { 100 } else { 400 };
@@ -384,7 +463,18 @@ pub fn e9(quick: bool) -> Table {
 pub fn e10(quick: bool) -> Table {
     let mut t = Table::new(
         "E10 — Theorem 5.6: Fast-MST vs baselines (total measured rounds)",
-        &["family", "n", "Diam", "fast", "(frag/part/bfs/pipe)", "phase-dbl", "pipe-only", "collect", "mst ok", "winner"],
+        &[
+            "family",
+            "n",
+            "Diam",
+            "fast",
+            "(frag/part/bfs/pipe)",
+            "phase-dbl",
+            "pipe-only",
+            "collect",
+            "mst ok",
+            "winner",
+        ],
     );
     for fam in Family::ALL {
         for &n in &sizes(quick, &[256, 1024]) {
@@ -442,7 +532,12 @@ pub fn e11(quick: bool) -> Table {
         "E11 — ablation: pipelined vs barrier convergecast",
         &["family", "n", "pipelined", "barrier", "slowdown"],
     );
-    for fam in [Family::BalancedBinary, Family::RandomTree, Family::Grid, Family::Path] {
+    for fam in [
+        Family::BalancedBinary,
+        Family::RandomTree,
+        Family::Grid,
+        Family::Path,
+    ] {
         // the barrier variant is Θ(n²) on a path; keep that row tractable
         let n = match (quick, fam) {
             (true, _) => 96,
@@ -474,7 +569,14 @@ pub fn e11(quick: bool) -> Table {
 pub fn e12(quick: bool) -> Table {
     let mut t = Table::new(
         "E12 — CONGEST accounting: messages and bits",
-        &["algorithm", "n", "rounds", "messages", "max msg bits", "O(log n) ok"],
+        &[
+            "algorithm",
+            "n",
+            "rounds",
+            "messages",
+            "max msg bits",
+            "O(log n) ok",
+        ],
     );
     let n = if quick { 128 } else { 512 };
     let g = Family::Gnp.generate(n, 67);
@@ -496,11 +598,19 @@ pub fn e12(quick: bool) -> Table {
         "DiamDOM (incl. BFS)",
         dd.total_rounds(),
         dd.bfs_report.messages + dd.dd_report.messages,
-        dd.bfs_report.max_message_bits.max(dd.dd_report.max_message_bits),
+        dd.bfs_report
+            .max_message_bits
+            .max(dd.dd_report.max_message_bits),
         &mut t,
     );
     let fr = run_simple_mst(&g, 8);
-    add("SimpleMST(k=8)", fr.report.rounds, fr.report.messages, fr.report.max_message_bits, &mut t);
+    add(
+        "SimpleMST(k=8)",
+        fr.report.rounds,
+        fr.report.messages,
+        fr.report.max_message_bits,
+        &mut t,
+    );
     let clusters: Vec<u64> = g.nodes().map(|v| g.id_of(v)).collect();
     let pl = run_pipeline(&g, NodeId(0), &clusters, true, false);
     add(
@@ -526,7 +636,16 @@ pub fn e12(quick: bool) -> Table {
 pub fn e13(quick: bool) -> Table {
     let mut t = Table::new(
         "E13 — ablation: Fast-MST k-sweep (k = n^α)",
-        &["n", "k", "alpha", "total", "frag", "partition", "pipeline+bfs", "mst ok"],
+        &[
+            "n",
+            "k",
+            "alpha",
+            "total",
+            "frag",
+            "partition",
+            "pipeline+bfs",
+            "mst ok",
+        ],
     );
     let n = if quick { 256 } else { 1024 };
     let g = Family::Grid.generate(n, 71);
@@ -555,7 +674,16 @@ pub fn e13(quick: bool) -> Table {
 pub fn e14(quick: bool) -> Table {
     let mut t = Table::new(
         "E14 — ablation: FastDOM_T within-cluster solver",
-        &["family", "n", "k", "|D| DP", "|D| DiamDOM", "bound", "DP≤bound", "both dominate"],
+        &[
+            "family",
+            "n",
+            "k",
+            "|D| DP",
+            "|D| DiamDOM",
+            "bound",
+            "DP≤bound",
+            "both dominate",
+        ],
     );
     for fam in Family::TREES {
         let n = if quick { 256 } else { 1024 };
@@ -584,7 +712,9 @@ pub fn e14(quick: bool) -> Table {
             ok_both,
         ]);
     }
-    t.note("the census solver may exceed the floor bound by one per coarse cluster (root completion)");
+    t.note(
+        "the census solver may exceed the floor bound by one per coarse cluster (root completion)",
+    );
     t
 }
 
@@ -605,7 +735,11 @@ pub fn e15(quick: bool) -> Table {
         let fast = fast_mst(&g);
         let pd = phase_doubling_mst(&g);
         t.check(is_mst(&g, &fast.mst_edges) && is_mst(&g, &pd.mst_edges));
-        let winner = if fast.total_rounds() <= pd.rounds { "fast" } else { "phase-dbl" };
+        let winner = if fast.total_rounds() <= pd.rounds {
+            "fast"
+        } else {
+            "phase-dbl"
+        };
         t.row(vec![
             n.to_string(),
             handle.to_string(),
@@ -624,7 +758,15 @@ pub fn e15(quick: bool) -> Table {
 pub fn e16(quick: bool) -> Table {
     let mut t = Table::new(
         "E16 — growth shape on grids: rounds vs n (Diam ≈ √n)",
-        &["n", "fast", "fast growth", "pipe-only", "pipe growth", "phase-dbl", "pd growth"],
+        &[
+            "n",
+            "fast",
+            "fast growth",
+            "pipe-only",
+            "pipe growth",
+            "phase-dbl",
+            "pd growth",
+        ],
     );
     let ns: Vec<usize> = if quick {
         vec![64, 256, 1024]
@@ -663,7 +805,17 @@ pub fn e17(quick: bool) -> Table {
     use kdom_core::dist::fastdom::fast_dom_t_distributed;
     let mut t = Table::new(
         "E17 — distributed FastDOM_T: measured within-cluster stage",
-        &["family", "n", "k", "|D|", "bound", "ok", "partition (charged)", "within (measured)", "msgs"],
+        &[
+            "family",
+            "n",
+            "k",
+            "|D|",
+            "bound",
+            "ok",
+            "partition (charged)",
+            "within (measured)",
+            "msgs",
+        ],
     );
     for fam in Family::TREES {
         for &n in &sizes(quick, &[512, 2048]) {
@@ -700,7 +852,15 @@ pub fn e18(quick: bool) -> Table {
     use kdom_core::dist::fragments::FragmentNode;
     let mut t = Table::new(
         "E18 — synchronizer α: async SimpleMST vs synchronous",
-        &["n", "max delay", "pulses", "virtual time", "payload msgs", "control msgs", "same MST"],
+        &[
+            "n",
+            "max delay",
+            "pulses",
+            "virtual time",
+            "payload msgs",
+            "control msgs",
+            "same MST",
+        ],
     );
     let n = if quick { 64 } else { 196 };
     let g = Family::Grid.generate(n, 97);
@@ -742,13 +902,25 @@ pub fn e19(quick: bool) -> Table {
     use kdom_graph::generators::{expanderish, hypercube, torus, GenConfig};
     let mut t = Table::new(
         "E19 — low-diameter topologies: Fast-MST vs baselines",
-        &["topology", "n", "Diam", "fast", "pipe-only", "phase-dbl", "mst ok", "winner"],
+        &[
+            "topology",
+            "n",
+            "Diam",
+            "fast",
+            "pipe-only",
+            "phase-dbl",
+            "mst ok",
+            "winner",
+        ],
     );
     let specs: Vec<(String, Graph)> = if quick {
         vec![
             ("hypercube-8".into(), hypercube(8, 5)),
             ("torus-16x16".into(), torus(16, 16, 5)),
-            ("expander-256".into(), expanderish(&GenConfig::with_seed(256, 5), 3)),
+            (
+                "expander-256".into(),
+                expanderish(&GenConfig::with_seed(256, 5), 3),
+            ),
         ]
     } else {
         vec![
@@ -756,8 +928,14 @@ pub fn e19(quick: bool) -> Table {
             ("hypercube-12".into(), hypercube(12, 5)),
             ("torus-32x32".into(), torus(32, 32, 5)),
             ("torus-64x64".into(), torus(64, 64, 5)),
-            ("expander-1024".into(), expanderish(&GenConfig::with_seed(1024, 5), 3)),
-            ("expander-4096".into(), expanderish(&GenConfig::with_seed(4096, 5), 3)),
+            (
+                "expander-1024".into(),
+                expanderish(&GenConfig::with_seed(1024, 5), 3),
+            ),
+            (
+                "expander-4096".into(),
+                expanderish(&GenConfig::with_seed(4096, 5), 3),
+            ),
         ]
     };
     for (name, g) in specs {
@@ -804,7 +982,9 @@ pub fn e20(quick: bool) -> Table {
     use kdom_core::dist::partition1::run_partition1;
     let mut t = Table::new(
         "E20 — per-node DOMPartition_1 (measured) vs cluster engine (charged)",
-        &["family", "n", "k", "clusters", "min size", "≥k+1", "measured", "charged", "ratio"],
+        &[
+            "family", "n", "k", "clusters", "min size", "≥k+1", "measured", "charged", "ratio",
+        ],
     );
     for fam in [Family::Path, Family::RandomTree, Family::Caterpillar] {
         let n = if quick { 128 } else { 1024 };

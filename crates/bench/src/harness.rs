@@ -1,0 +1,215 @@
+//! A tiny self-contained wall-clock benchmark harness.
+//!
+//! Exposes the subset of the `criterion` API the benches under
+//! `benches/` consume — [`Criterion`], benchmark groups,
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — so the workspace needs **no external crates** to time its
+//! experiments. Timing is plain [`std::time::Instant`]: per benchmark a
+//! short warm-up, then batched measurement until a time budget is spent,
+//! reporting min/mean/median over the batches.
+//!
+//! The budget is tuned via `KDOM_BENCH_MS` (milliseconds per benchmark,
+//! default 300); set `KDOM_BENCH_MS=0` for a single-iteration smoke run
+//! (useful in CI, where only "does it run" matters).
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup { _c: self, name }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), f);
+        self
+    }
+}
+
+/// A named collection of benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'c> {
+    _c: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for `criterion` compatibility; this harness sizes batches
+    /// by time budget instead, so the hint is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Times `f` under `name` within this group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name.into()), f);
+        self
+    }
+
+    /// Ends the group (output is flushed eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    /// Iterations the routine should run this batch.
+    iters: u64,
+    /// Measured duration of the batch, filled in by [`Bencher::iter`].
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine`, keeping its output alive via `black_box` so
+    /// the optimizer cannot delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("KDOM_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let budget = budget();
+    // One probe iteration: warms caches and sizes the batches.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let probe = b.elapsed.max(Duration::from_nanos(1));
+    if budget.is_zero() {
+        eprintln!("  {name}: {} (smoke run)", fmt_dur(probe));
+        return;
+    }
+    // Batch size targeting ~10 batches within the budget.
+    let per_batch = budget.as_nanos() / 10;
+    let iters = (per_batch / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+    let mut samples: Vec<f64> = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < budget || samples.len() < 3 {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+        if samples.len() >= 1000 {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    eprintln!(
+        "  {name}: min {} / median {} / mean {}  ({} batches × {iters} iters)",
+        fmt_secs(min),
+        fmt_secs(median),
+        fmt_secs(mean),
+        samples.len(),
+    );
+}
+
+fn fmt_secs(s: f64) -> String {
+    fmt_dur(Duration::from_secs_f64(s))
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group runner, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; a plain
+            // wall-clock harness can ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| (0..1000u64).sum::<u64>());
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_runs_function() {
+        std::env::set_var("KDOM_BENCH_MS", "0");
+        let mut c = Criterion::default();
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("t");
+            g.bench_function("inc", |b| {
+                runs += 1;
+                b.iter(|| 1 + 1)
+            });
+            g.finish();
+        }
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn durations_format_across_scales() {
+        assert!(fmt_dur(Duration::from_nanos(5)).contains("ns"));
+        assert!(fmt_dur(Duration::from_micros(5)).contains("µs"));
+        assert!(fmt_dur(Duration::from_millis(5)).contains("ms"));
+        assert!(fmt_dur(Duration::from_secs(5)).contains("s"));
+    }
+}

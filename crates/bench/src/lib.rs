@@ -3,11 +3,12 @@
 //! [`exps`] contains one function per experiment (E1–E15, see DESIGN.md
 //! §3 for the claim ↔ experiment mapping); [`table`] renders their
 //! outputs. The `experiments` binary drives them; `EXPERIMENTS.md` holds
-//! a curated full-run record. Criterion wall-clock benches live under
-//! `benches/`.
+//! a curated full-run record. Wall-clock benches live under `benches/`,
+//! driven by the dependency-free [`harness`] module.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exps;
+pub mod harness;
 pub mod table;

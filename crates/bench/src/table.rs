@@ -81,7 +81,15 @@ impl fmt::Display for Table {
         for n in &self.notes {
             writeln!(f, "  note: {n}")?;
         }
-        writeln!(f, "  verdict: {}", if self.all_ok { "ALL CHECKS PASSED" } else { "CHECKS FAILED" })
+        writeln!(
+            f,
+            "  verdict: {}",
+            if self.all_ok {
+                "ALL CHECKS PASSED"
+            } else {
+                "CHECKS FAILED"
+            }
+        )
     }
 }
 

@@ -21,18 +21,36 @@
 //!    reported safe for pulse `p` — at which point all pulse-`p` traffic
 //!    toward it has provably arrived.
 //!
-//! Measured overheads (report fields): the payload/control message split
-//! and the virtual completion time under random delays.
+//! # Faults and recovery
+//!
+//! The executor optionally plays back a [`FaultPlan`]: transmissions can
+//! be dropped, duplicated, or delayed, links can go down for intervals,
+//! and nodes can fail-stop at a chosen pulse. Under loss the bare
+//! synchronizer deadlocks (a lost payload is never acked; a lost *safe*
+//! blocks a pulse forever) — the watchdog then reports
+//! [`SimError::Stalled`] with the stuck nodes instead of hanging.
+//! Layering the [`reliable`](crate::reliable) ARQ machinery under the
+//! synchronizer ([`AlphaSimulator::reliable`]) restores exactly-once
+//! delivery, making every protocol's output *identical* to its fault-free
+//! synchronous execution — the property the recovery tests assert.
+//!
+//! Crashes use a perfect failure detector: a dying node emits `Down`
+//! frames (immune to faults, as is standard for failure-detector
+//! abstractions) so neighbors stop waiting for its acks and safes.
+//!
+//! Measured overheads (report fields): the payload/control message split,
+//! the virtual completion time under random delays, and the fault/
+//! recovery counters.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use kdom_graph::graph::{Graph, NodeId};
+use kdom_rng::StdRng;
 
-use crate::sim::{NodeCtx, Outbox, Port, Protocol, SimError};
+use crate::faults::{FaultInjector, FaultPlan};
+use crate::reliable::{LinkState, ReliableConfig, RetxDecision};
+use crate::sim::{reverse_port_table, NodeCtx, Outbox, Port, Protocol, SimError, StallReport};
 
 /// Statistics of an asynchronous (synchronizer-α) execution.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -46,14 +64,80 @@ pub struct AlphaReport {
     pub payload_messages: u64,
     /// Control messages (acks + safe notifications) delivered.
     pub control_messages: u64,
+    /// Messages lost to injected faults (drops, down-intervals, and
+    /// traffic to/from crashed nodes).
+    pub dropped_messages: u64,
+    /// Extra copies injected by fault duplication.
+    pub duplicated_messages: u64,
+    /// Retransmissions performed by the reliable-delivery layer.
+    pub retransmissions: u64,
+}
+
+impl From<AlphaReport> for crate::RunReport {
+    /// Projects an asynchronous run onto the synchronous metrics, so
+    /// compositions can account an α-executed stage like any other:
+    /// pulses count as rounds and delivered payloads as messages. The
+    /// bit-level fields are α-specific (control traffic dominates) and
+    /// are left at zero rather than reported misleadingly.
+    fn from(a: AlphaReport) -> Self {
+        crate::RunReport {
+            rounds: a.pulses,
+            messages: a.payload_messages,
+            dropped_messages: a.dropped_messages,
+            duplicated_messages: a.duplicated_messages,
+            retransmissions: a.retransmissions,
+            ..crate::RunReport::default()
+        }
+    }
 }
 
 /// Wire format: a payload with its pulse tag, or α control traffic.
 #[derive(Clone, Debug)]
-enum Wire<M> {
+pub(crate) enum Wire<M> {
     Payload { pulse: u64, msg: M },
     Ack { pulse: u64 },
     Safe { pulse: u64 },
+}
+
+impl<M> Wire<M> {
+    fn is_payload(&self) -> bool {
+        matches!(self, Wire::Payload { .. })
+    }
+}
+
+/// Physical frame on a link: raw α traffic, ARQ-wrapped traffic, its
+/// acknowledgement, or a failure notification.
+#[derive(Clone, Debug)]
+enum Frame<M> {
+    /// Unreliable transport (the fault-free fast path).
+    Raw(Wire<M>),
+    /// Reliable transport: a wire tagged with a link sequence number.
+    Data { seq: u64, wire: Wire<M> },
+    /// Link-level acknowledgement of a `Data` frame.
+    LinkAck { seq: u64 },
+    /// Failure-detector notification: the sender has crashed.
+    Down,
+}
+
+impl<M> Frame<M> {
+    fn carries_payload(&self) -> bool {
+        match self {
+            Frame::Raw(w) | Frame::Data { wire: w, .. } => w.is_payload(),
+            Frame::LinkAck { .. } | Frame::Down => false,
+        }
+    }
+}
+
+/// A scheduled simulation event.
+enum Event<M> {
+    /// `frame` arrives at `to` over its local `port`.
+    Deliver {
+        to: usize,
+        port: Port,
+        frame: Frame<M>,
+    },
+    /// The retransmission timer of `(from, port, seq)` fires.
+    Retx { from: usize, port: Port, seq: u64 },
 }
 
 struct NodeState<P: Protocol> {
@@ -61,6 +145,9 @@ struct NodeState<P: Protocol> {
     pulse: u64,
     ran_current: bool,
     pending_acks: u64,
+    /// Unacked payloads of the current pulse, per port — lets a dead
+    /// neighbor's outstanding acks be cancelled precisely.
+    awaiting: Vec<u64>,
     safe_sent: bool,
     /// payloads received, keyed by the sender's pulse
     payloads: HashMap<u64, Vec<(Port, P::Msg)>>,
@@ -69,33 +156,53 @@ struct NodeState<P: Protocol> {
 }
 
 /// Event-driven asynchronous executor wrapping synchronous protocols
-/// with synchronizer α.
+/// with synchronizer α, with optional fault injection and an optional
+/// reliable-delivery layer.
 pub struct AlphaSimulator<'g, P: Protocol> {
     graph: &'g Graph,
     nodes: Vec<NodeState<P>>,
-    queue: BinaryHeap<Reverse<(u64, u64, usize, usize, WireBox<P>)>>,
+    queue: BinaryHeap<Reverse<(u64, u64, EventBox<P>)>>,
     seq: u64,
     rng: StdRng,
     max_delay: u64,
     report: AlphaReport,
+    /// Application ids, hoisted out of the per-pulse hot path.
+    ids: Vec<u64>,
+    /// `rev_port[v][p]`: port of edge `(v, p)` at its other endpoint.
+    rev_port: Vec<Vec<Option<Port>>>,
+    injector: Option<FaultInjector>,
+    arq: Option<ReliableConfig>,
+    /// ARQ endpoint state per `(node, port)` (reliable mode only).
+    links: Vec<Vec<LinkState<Wire<P::Msg>>>>,
+    dead: Vec<bool>,
+    /// `dead_ports[v][p]`: v has learned (via `Down`) that the neighbor
+    /// across port p crashed.
+    dead_ports: Vec<Vec<bool>>,
+    /// Payloads lost because an endpoint had crashed.
+    crash_dropped: u64,
+    /// Payload-bearing frames currently in the event queue.
+    inflight_payloads: u64,
+    /// Payload wires registered with the ARQ layer and not yet acked.
+    unacked_payloads: u64,
+    last_activity: u64,
 }
 
-// BinaryHeap needs Ord; box the wire behind a sequence number and keep
+// BinaryHeap needs Ord; box the event behind a sequence number and keep
 // comparison on (time, seq) only.
-struct WireBox<P: Protocol>(Wire<P::Msg>);
+struct EventBox<P: Protocol>(Event<P::Msg>);
 
-impl<P: Protocol> PartialEq for WireBox<P> {
+impl<P: Protocol> PartialEq for EventBox<P> {
     fn eq(&self, _: &Self) -> bool {
         true
     }
 }
-impl<P: Protocol> Eq for WireBox<P> {}
-impl<P: Protocol> PartialOrd for WireBox<P> {
+impl<P: Protocol> Eq for EventBox<P> {}
+impl<P: Protocol> PartialOrd for EventBox<P> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<P: Protocol> Ord for WireBox<P> {
+impl<P: Protocol> Ord for EventBox<P> {
     fn cmp(&self, _: &Self) -> std::cmp::Ordering {
         std::cmp::Ordering::Equal
     }
@@ -111,17 +218,32 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
     pub fn new(graph: &'g Graph, nodes: Vec<P>, seed: u64, max_delay: u64) -> Self {
         assert_eq!(nodes.len(), graph.node_count(), "one automaton per node");
         assert!(max_delay >= 1, "delays are at least one time unit");
+        let n = graph.node_count();
         let nodes = nodes
             .into_iter()
-            .map(|inner| NodeState {
+            .enumerate()
+            .map(|(v, inner)| NodeState {
                 inner,
                 pulse: 0,
                 ran_current: false,
                 pending_acks: 0,
+                awaiting: vec![0; graph.degree(NodeId(v))],
                 safe_sent: false,
                 payloads: HashMap::new(),
                 safes: HashMap::new(),
             })
+            .collect();
+        let ids = (0..n).map(|v| graph.id_of(NodeId(v))).collect();
+        let rev_port = reverse_port_table(graph);
+        let links = (0..n)
+            .map(|v| {
+                (0..graph.degree(NodeId(v)))
+                    .map(|_| LinkState::new())
+                    .collect()
+            })
+            .collect();
+        let dead_ports = (0..n)
+            .map(|v| vec![false; graph.degree(NodeId(v))])
             .collect();
         AlphaSimulator {
             graph,
@@ -131,27 +253,160 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
             rng: StdRng::seed_from_u64(seed),
             max_delay,
             report: AlphaReport::default(),
+            ids,
+            rev_port,
+            injector: None,
+            arq: None,
+            links,
+            dead: vec![false; n],
+            dead_ports,
+            crash_dropped: 0,
+            inflight_payloads: 0,
+            unacked_payloads: 0,
+            last_activity: 0,
         }
     }
 
-    fn send(&mut self, now: u64, from: usize, port: Port, wire: Wire<P::Msg>) {
+    /// Creates an executor that injects the faults described by `plan`
+    /// (crash times are interpreted as pulses). Without the reliable
+    /// layer most protocols *stall* under loss — enable it with
+    /// [`AlphaSimulator::reliable`] to recover exactly-once delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != graph.node_count()` or `max_delay == 0`.
+    pub fn with_faults(
+        graph: &'g Graph,
+        nodes: Vec<P>,
+        seed: u64,
+        max_delay: u64,
+        plan: &FaultPlan,
+    ) -> Self {
+        let mut sim = Self::new(graph, nodes, seed, max_delay);
+        sim.injector = Some(FaultInjector::new(plan));
+        sim
+    }
+
+    /// Enables the link-level ARQ layer ([`crate::reliable`]): every wire
+    /// is sequence-numbered, acknowledged, retransmitted with exponential
+    /// backoff until acked, and deduplicated at the receiver.
+    pub fn reliable(mut self, cfg: ReliableConfig) -> Self {
+        self.arq = Some(cfg);
+        self
+    }
+
+    /// Pushes `ev` at absolute time `at`, maintaining payload accounting.
+    fn enqueue(&mut self, at: u64, ev: Event<P::Msg>) {
+        if let Event::Deliver { frame, .. } = &ev {
+            if frame.carries_payload() {
+                self.inflight_payloads += 1;
+            }
+        }
+        self.seq += 1;
+        self.queue.push(Reverse((at, self.seq, EventBox(ev))));
+    }
+
+    /// Physically transmits `frame` over `(from, port)` through the fault
+    /// injector (drops, duplicates, extra delay, down links).
+    fn physical_send(&mut self, now: u64, from: usize, port: Port, frame: Frame<P::Msg>) {
         let arc = self.graph.neighbors(NodeId(from))[port.0];
         let to = arc.to.0;
-        let back = self
-            .graph
-            .neighbors(arc.to)
-            .iter()
-            .position(|a| a.edge == arc.edge)
-            .expect("edge present on both endpoints");
-        let delay = self.rng.random_range(1..=self.max_delay);
-        self.seq += 1;
-        self.queue
-            .push(Reverse((now + delay, self.seq, to, back, WireBox(wire))));
+        // validated in run(); BrokenTopology is reported there
+        let back = self.rev_port[from][port.0].expect("validated topology");
+        match self.injector.as_mut() {
+            None => {
+                let delay = self.rng.random_range(1..=self.max_delay);
+                self.enqueue(
+                    now + delay,
+                    Event::Deliver {
+                        to,
+                        port: back,
+                        frame,
+                    },
+                );
+            }
+            Some(inj) => {
+                let tx = inj.transmit(arc.edge, now);
+                for extra in tx.copies {
+                    let delay = self.rng.random_range(1..=self.max_delay) + extra;
+                    self.enqueue(
+                        now + delay,
+                        Event::Deliver {
+                            to,
+                            port: back,
+                            frame: frame.clone(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Sends an α wire over the configured transport (raw or ARQ).
+    fn transport_send(&mut self, now: u64, from: usize, port: Port, wire: Wire<P::Msg>) {
+        if self.dead[from] || self.dead_ports[from][port.0] {
+            if wire.is_payload() {
+                self.crash_dropped += 1;
+            }
+            return;
+        }
+        match self.arq {
+            None => self.physical_send(now, from, port, Frame::Raw(wire)),
+            Some(cfg) => {
+                if wire.is_payload() {
+                    self.unacked_payloads += 1;
+                }
+                let seq = self.links[from][port.0].register_send(wire.clone(), &cfg);
+                self.physical_send(now, from, port, Frame::Data { seq, wire });
+                self.enqueue(now + cfg.base_timeout, Event::Retx { from, port, seq });
+            }
+        }
+    }
+
+    /// Emits failure-detector `Down` frames on every port of `v`. These
+    /// bypass the fault injector (a perfect detector) and arrive after
+    /// one time unit.
+    fn broadcast_down(&mut self, now: u64, v: usize) {
+        for p in 0..self.graph.degree(NodeId(v)) {
+            let arc = self.graph.neighbors(NodeId(v))[p];
+            let back = self.rev_port[v][p].expect("validated topology");
+            self.enqueue(
+                now + 1,
+                Event::Deliver {
+                    to: arc.to.0,
+                    port: back,
+                    frame: Frame::Down,
+                },
+            );
+        }
+    }
+
+    /// Fail-stops `v`: it executes nothing further, its pending traffic
+    /// is abandoned, and every neighbor is notified.
+    fn die(&mut self, now: u64, v: usize) {
+        if self.dead[v] {
+            return;
+        }
+        self.dead[v] = true;
+        for link in &mut self.links[v] {
+            for w in link.clear() {
+                if w.is_payload() {
+                    self.unacked_payloads = self.unacked_payloads.saturating_sub(1);
+                    self.crash_dropped += 1;
+                }
+            }
+        }
+        self.nodes[v].payloads.clear();
+        self.nodes[v].safes.clear();
+        self.broadcast_down(now, v);
     }
 
     /// Runs the node's synchronous round for its current pulse and ships
     /// the outputs.
     fn run_round(&mut self, now: u64, v: usize) {
+        if self.dead[v] {
+            return;
+        }
         let pulse = self.nodes[v].pulse;
         debug_assert!(!self.nodes[v].ran_current);
         let inbox = {
@@ -164,25 +419,29 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
             inbox.sort_by_key(|(p, _)| *p);
             inbox
         };
-        let ids: Vec<u64> = (0..self.graph.node_count())
-            .map(|u| self.graph.id_of(NodeId(u)))
-            .collect();
         let ctx = NodeCtx::new(
             NodeId(v),
-            ids[v],
+            self.ids[v],
             pulse,
             self.graph.neighbors(NodeId(v)),
-            &ids,
+            &self.ids,
         );
         let mut out = Outbox::with_degree(ctx.degree());
         self.nodes[v].inner.round(&ctx, &inbox, &mut out);
         let slots = out.into_slots();
         let mut sent = 0u64;
+        self.nodes[v].awaiting.iter_mut().for_each(|a| *a = 0);
         for (p, slot) in slots.into_iter().enumerate() {
-            if let Some(msg) = slot {
-                sent += 1;
-                self.send(now, v, Port(p), Wire::Payload { pulse, msg });
+            let Some(msg) = slot else { continue };
+            if self.dead_ports[v][p] {
+                // neighbor is gone: the payload is undeliverable and no
+                // ack will ever come — don't wait for one
+                self.crash_dropped += 1;
+                continue;
             }
+            sent += 1;
+            self.nodes[v].awaiting[p] = 1;
+            self.transport_send(now, v, Port(p), Wire::Payload { pulse, msg });
         }
         self.nodes[v].ran_current = true;
         self.nodes[v].pending_acks = sent;
@@ -192,94 +451,263 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
 
     /// Declares safety once all payloads of the current pulse are acked.
     fn maybe_safe(&mut self, now: u64, v: usize) {
-        if self.nodes[v].ran_current
-            && self.nodes[v].pending_acks == 0
-            && !self.nodes[v].safe_sent
+        if self.dead[v] {
+            return;
+        }
+        if self.nodes[v].ran_current && self.nodes[v].pending_acks == 0 && !self.nodes[v].safe_sent
         {
             self.nodes[v].safe_sent = true;
             let pulse = self.nodes[v].pulse;
             for p in 0..self.graph.degree(NodeId(v)) {
-                self.send(now, v, Port(p), Wire::Safe { pulse });
+                if !self.dead_ports[v][p] {
+                    self.transport_send(now, v, Port(p), Wire::Safe { pulse });
+                }
             }
             self.maybe_advance(now, v);
         }
     }
 
-    /// Advances to the next pulse once safe and all neighbors are safe.
+    /// Advances to the next pulse once safe and all *live* neighbors are
+    /// safe (dead neighbors, learned via `Down`, are excused).
     fn maybe_advance(&mut self, now: u64, v: usize) {
+        if self.dead[v] {
+            return;
+        }
         let pulse = self.nodes[v].pulse;
         let degree = self.graph.degree(NodeId(v));
-        let ready = {
+        // A node with no live neighbors can never receive anything again:
+        // suspend it rather than let it pulse in an unbounded self-loop.
+        let isolated = (0..degree).all(|p| self.dead_ports[v][p]);
+        let ready = !isolated && {
             let st = &self.nodes[v];
             st.ran_current
                 && st.safe_sent
-                && st.safes.get(&pulse).map_or(degree == 0, |s| s.len() == degree)
+                && (0..degree).all(|p| {
+                    self.dead_ports[v][p]
+                        || st.safes.get(&pulse).is_some_and(|s| s.contains(&Port(p)))
+                })
         };
         if ready {
             let st = &mut self.nodes[v];
             st.safes.remove(&pulse);
             st.pulse += 1;
             st.ran_current = false;
-            self.report.pulses = self.report.pulses.max(self.nodes[v].pulse);
-            self.run_round(now, v);
+            let next = st.pulse;
+            self.report.pulses = self.report.pulses.max(next);
+            if self
+                .injector
+                .as_ref()
+                .and_then(|inj| inj.crash_time(NodeId(v)))
+                .is_some_and(|at| next >= at)
+            {
+                self.die(now, v);
+            } else {
+                self.run_round(now, v);
+            }
+        }
+    }
+
+    /// Marks the neighbor across `port` as crashed and releases every
+    /// wait that depended on it.
+    fn handle_down(&mut self, now: u64, v: usize, port: Port) {
+        if self.dead[v] || self.dead_ports[v][port.0] {
+            return;
+        }
+        self.dead_ports[v][port.0] = true;
+        for w in self.links[v][port.0].clear() {
+            if w.is_payload() {
+                self.unacked_payloads = self.unacked_payloads.saturating_sub(1);
+                self.crash_dropped += 1;
+            }
+        }
+        let owed = std::mem::take(&mut self.nodes[v].awaiting[port.0]);
+        self.nodes[v].pending_acks = self.nodes[v].pending_acks.saturating_sub(owed);
+        self.maybe_safe(now, v);
+        self.maybe_advance(now, v);
+    }
+
+    /// Processes one α wire delivered to `v` on `port`.
+    fn deliver_wire(&mut self, time: u64, v: usize, port: Port, wire: Wire<P::Msg>) {
+        match wire {
+            Wire::Payload { pulse, msg } => {
+                self.report.payload_messages += 1;
+                self.nodes[v]
+                    .payloads
+                    .entry(pulse)
+                    .or_default()
+                    .push((port, msg));
+                self.transport_send(time, v, port, Wire::Ack { pulse });
+            }
+            Wire::Ack { pulse } => {
+                self.report.control_messages += 1;
+                if self.nodes[v].pulse == pulse && self.nodes[v].awaiting[port.0] > 0 {
+                    self.nodes[v].awaiting[port.0] -= 1;
+                    self.nodes[v].pending_acks = self.nodes[v].pending_acks.saturating_sub(1);
+                    self.maybe_safe(time, v);
+                }
+            }
+            Wire::Safe { pulse } => {
+                self.report.control_messages += 1;
+                self.nodes[v].safes.entry(pulse).or_default().insert(port);
+                if self.nodes[v].pulse == pulse {
+                    self.maybe_advance(time, v);
+                }
+            }
         }
     }
 
     fn all_quiet(&self) -> bool {
-        self.nodes
-            .iter()
-            .all(|st| st.inner.is_done() && st.payloads.values().all(Vec::is_empty))
-            && !self
-                .queue
+        self.inflight_payloads == 0
+            && self.unacked_payloads == 0
+            && self.nodes.iter().enumerate().all(|(v, st)| {
+                self.dead[v] || (st.inner.is_done() && st.payloads.values().all(Vec::is_empty))
+            })
+    }
+
+    fn stall_report(&self) -> StallReport {
+        StallReport {
+            not_done: (0..self.nodes.len())
+                .filter(|&v| !self.dead[v] && !self.nodes[v].inner.is_done())
+                .map(NodeId)
+                .collect(),
+            pending: self
+                .nodes
                 .iter()
-                .any(|Reverse((_, _, _, _, w))| matches!(w.0, Wire::Payload { .. }))
+                .enumerate()
+                .map(|(v, st)| (NodeId(v), st.payloads.values().map(Vec::len).sum::<usize>()))
+                .filter(|(_, d)| *d > 0)
+                .collect(),
+            last_activity: self.last_activity,
+            crashed: (0..self.nodes.len())
+                .filter(|&v| self.dead[v])
+                .map(NodeId)
+                .collect(),
+        }
+    }
+
+    fn sync_fault_counters(&mut self) {
+        if let Some(inj) = &self.injector {
+            self.report.dropped_messages = inj.dropped() + self.crash_dropped;
+            self.report.duplicated_messages = inj.duplicated();
+        } else {
+            self.report.dropped_messages = self.crash_dropped;
+        }
     }
 
     /// Runs to protocol quiescence.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::RoundLimitExceeded`] if more than `max_pulses`
-    /// pulses elapse.
+    /// - [`SimError::RoundLimitExceeded`] if more than `max_pulses` pulses
+    ///   elapse, with a [`StallReport`] naming who is behind;
+    /// - [`SimError::Stalled`] if the event queue drains before
+    ///   quiescence (lost messages with no recovery layer);
+    /// - [`SimError::DeliveryExhausted`] if the ARQ layer gives up a link;
+    /// - [`SimError::BrokenTopology`] on an asymmetric adjacency list.
     pub fn run(&mut self, max_pulses: u64) -> Result<AlphaReport, SimError> {
-        // pulse 0 for everyone
         for v in 0..self.nodes.len() {
-            self.run_round(0, v);
+            for (p, rp) in self.rev_port[v].iter().enumerate() {
+                if rp.is_none() {
+                    return Err(SimError::BrokenTopology {
+                        node: NodeId(v),
+                        port: Port(p),
+                    });
+                }
+            }
+        }
+        // initial crashes (pulse 0): these nodes never participate — a
+        // degraded topology
+        let initial_dead: Vec<usize> = (0..self.nodes.len())
+            .filter(|&v| {
+                self.injector
+                    .as_ref()
+                    .and_then(|inj| inj.crash_time(NodeId(v)))
+                    .is_some_and(|at| at == 0)
+            })
+            .collect();
+        for v in initial_dead {
+            self.die(0, v);
+        }
+        // pulse 0 for everyone alive
+        for v in 0..self.nodes.len() {
+            if !self.dead[v] {
+                self.run_round(0, v);
+            }
         }
         while !self.all_quiet() {
-            let Some(Reverse((time, _, to, back, wire))) = self.queue.pop() else {
-                break; // no events left: quiescent or stuck-by-design
+            let Some(Reverse((time, _, ev))) = self.queue.pop() else {
+                self.sync_fault_counters();
+                return Err(SimError::Stalled {
+                    stall: self.stall_report(),
+                });
             };
             if self.report.pulses > max_pulses {
-                return Err(SimError::RoundLimitExceeded { limit: max_pulses });
+                self.sync_fault_counters();
+                return Err(SimError::RoundLimitExceeded {
+                    limit: max_pulses,
+                    stall: self.stall_report(),
+                });
             }
             self.report.virtual_time = self.report.virtual_time.max(time);
-            match wire.0 {
-                Wire::Payload { pulse, msg } => {
-                    self.report.payload_messages += 1;
-                    self.nodes[to]
-                        .payloads
-                        .entry(pulse)
-                        .or_default()
-                        .push((Port(back), msg));
-                    self.send(time, to, Port(back), Wire::Ack { pulse });
-                }
-                Wire::Ack { pulse } => {
-                    self.report.control_messages += 1;
-                    if self.nodes[to].pulse == pulse {
-                        self.nodes[to].pending_acks -= 1;
-                        self.maybe_safe(time, to);
+            match ev.0 {
+                Event::Deliver { to, port, frame } => {
+                    if frame.carries_payload() {
+                        self.inflight_payloads -= 1;
+                    }
+                    self.last_activity = time;
+                    if self.dead[to] {
+                        if frame.carries_payload() {
+                            self.crash_dropped += 1;
+                        }
+                        // in reliable mode the sender's state is settled
+                        // by the Down frame, not by an ack
+                        continue;
+                    }
+                    match frame {
+                        Frame::Raw(wire) => self.deliver_wire(time, to, port, wire),
+                        Frame::Data { seq, wire } => {
+                            // always re-ack: the previous LinkAck may have
+                            // been lost
+                            self.physical_send(time, to, port, Frame::LinkAck { seq });
+                            if self.links[to][port.0].accept(seq) {
+                                self.deliver_wire(time, to, port, wire);
+                            }
+                        }
+                        Frame::LinkAck { seq } => {
+                            if let Some(w) = self.links[to][port.0].on_link_ack(seq) {
+                                if w.is_payload() {
+                                    self.unacked_payloads -= 1;
+                                }
+                            }
+                        }
+                        Frame::Down => self.handle_down(time, to, port),
                     }
                 }
-                Wire::Safe { pulse } => {
-                    self.report.control_messages += 1;
-                    self.nodes[to].safes.entry(pulse).or_default().insert(Port(back));
-                    if self.nodes[to].pulse == pulse {
-                        self.maybe_advance(time, to);
+                Event::Retx { from, port, seq } => {
+                    if self.dead[from] || self.dead_ports[from][port.0] {
+                        continue; // link state already cleared
+                    }
+                    let cfg = self.arq.expect("retx only scheduled in reliable mode");
+                    match self.links[from][port.0].on_retx_timer(seq, &cfg) {
+                        RetxDecision::Acked => {}
+                        RetxDecision::Resend { wire, next_timeout } => {
+                            self.report.retransmissions += 1;
+                            self.physical_send(time, from, port, Frame::Data { seq, wire });
+                            self.enqueue(time + next_timeout, Event::Retx { from, port, seq });
+                        }
+                        RetxDecision::Exhausted { attempts } => {
+                            self.sync_fault_counters();
+                            return Err(SimError::DeliveryExhausted {
+                                node: NodeId(from),
+                                port,
+                                attempts,
+                            });
+                        }
                     }
                 }
             }
         }
+        self.sync_fault_counters();
         Ok(self.report.clone())
     }
 
@@ -294,7 +722,7 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
 ///
 /// # Errors
 ///
-/// Propagates [`SimError::RoundLimitExceeded`].
+/// Propagates every [`SimError`] of [`AlphaSimulator::run`].
 pub fn run_protocol_alpha<P: Protocol>(
     graph: &Graph,
     nodes: Vec<P>,
@@ -303,6 +731,46 @@ pub fn run_protocol_alpha<P: Protocol>(
     max_pulses: u64,
 ) -> Result<(Vec<P>, AlphaReport), SimError> {
     let mut sim = AlphaSimulator::new(graph, nodes, seed, max_delay);
+    let report = sim.run(max_pulses)?;
+    Ok((sim.into_nodes(), report))
+}
+
+/// Convenience: α execution with injected faults and *no* recovery layer.
+/// Under loss most protocols stall — useful for testing the watchdog.
+///
+/// # Errors
+///
+/// Propagates every [`SimError`] of [`AlphaSimulator::run`].
+pub fn run_protocol_alpha_faulty<P: Protocol>(
+    graph: &Graph,
+    nodes: Vec<P>,
+    seed: u64,
+    max_delay: u64,
+    plan: &FaultPlan,
+    max_pulses: u64,
+) -> Result<(Vec<P>, AlphaReport), SimError> {
+    let mut sim = AlphaSimulator::with_faults(graph, nodes, seed, max_delay, plan);
+    let report = sim.run(max_pulses)?;
+    Ok((sim.into_nodes(), report))
+}
+
+/// Convenience: α execution with injected faults *and* the reliable
+/// ARQ layer, sized for the run's delay bounds. Protocol outputs match
+/// the fault-free synchronous execution (on the surviving component).
+///
+/// # Errors
+///
+/// Propagates every [`SimError`] of [`AlphaSimulator::run`].
+pub fn run_protocol_alpha_reliable<P: Protocol>(
+    graph: &Graph,
+    nodes: Vec<P>,
+    seed: u64,
+    max_delay: u64,
+    plan: &FaultPlan,
+    max_pulses: u64,
+) -> Result<(Vec<P>, AlphaReport), SimError> {
+    let cfg = ReliableConfig::for_delays(max_delay, plan.max_extra_delay);
+    let mut sim = AlphaSimulator::with_faults(graph, nodes, seed, max_delay, plan).reliable(cfg);
     let report = sim.run(max_pulses)?;
     Ok((sim.into_nodes(), report))
 }
@@ -349,7 +817,12 @@ mod tests {
     }
 
     fn bfs_nodes(n: usize) -> Vec<Bfs> {
-        (0..n).map(|i| Bfs { source: i == 0, dist: None }).collect()
+        (0..n)
+            .map(|i| Bfs {
+                source: i == 0,
+                dist: None,
+            })
+            .collect()
     }
 
     #[test]
@@ -361,10 +834,15 @@ mod tests {
                 run_protocol_alpha(&g, bfs_nodes(40), seed, 5, 10_000).unwrap();
             let want = bfs_distances(&g, kdom_graph::NodeId(0));
             for v in 0..40 {
-                assert_eq!(async_nodes[v].dist, sync_nodes[v].dist, "seed {seed} node {v}");
+                assert_eq!(
+                    async_nodes[v].dist, sync_nodes[v].dist,
+                    "seed {seed} node {v}"
+                );
                 assert_eq!(async_nodes[v].dist, Some(want[v]));
             }
             assert!(report.control_messages > 0, "α control traffic exists");
+            assert_eq!(report.dropped_messages, 0);
+            assert_eq!(report.retransmissions, 0);
         }
     }
 
@@ -387,7 +865,10 @@ mod tests {
         let (_, b) = run_protocol_alpha(&g, bfs_nodes(30), 11, 4, 10_000).unwrap();
         assert_eq!(a, b);
         let (_, c) = run_protocol_alpha(&g, bfs_nodes(30), 12, 4, 10_000).unwrap();
-        assert_ne!(a.virtual_time, c.virtual_time, "different delays, different time");
+        assert_ne!(
+            a.virtual_time, c.virtual_time,
+            "different delays, different time"
+        );
     }
 
     #[test]
@@ -395,12 +876,95 @@ mod tests {
         let g = gnp_connected(&GenConfig::with_seed(50, 9), 0.1);
         let (_, report) = run_protocol_alpha(&g, bfs_nodes(50), 2, 3, 10_000).unwrap();
         // acks ≤ payloads; safes ≈ 2·|E| per pulse — the [Al] bound
-        let bound = (report.pulses + 2) * 2 * g.edge_count() as u64
-            + report.payload_messages;
+        let bound = (report.pulses + 2) * 2 * g.edge_count() as u64 + report.payload_messages;
         assert!(
             report.control_messages <= bound,
             "{} control msgs > bound {bound}",
             report.control_messages
         );
+    }
+
+    #[test]
+    fn lossy_alpha_without_recovery_stalls_with_diagnostics() {
+        let g = path(&GenConfig::with_seed(20, 0));
+        let plan = FaultPlan::new(5).drop_prob(0.5);
+        let err = run_protocol_alpha_faulty(&g, bfs_nodes(20), 1, 3, &plan, 10_000).unwrap_err();
+        match err {
+            SimError::Stalled { stall } | SimError::RoundLimitExceeded { stall, .. } => {
+                assert!(!stall.not_done.is_empty(), "stuck nodes are named");
+            }
+            other => panic!("expected a stall-style error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reliable_alpha_recovers_from_heavy_loss() {
+        for seed in 0..3u64 {
+            let g = gnp_connected(&GenConfig::with_seed(30, seed), 0.12);
+            let plan = FaultPlan::new(seed + 100)
+                .drop_prob(0.3)
+                .dup_prob(0.1)
+                .max_extra_delay(4);
+            let (nodes, report) =
+                run_protocol_alpha_reliable(&g, bfs_nodes(30), seed, 3, &plan, 10_000).unwrap();
+            let want = bfs_distances(&g, kdom_graph::NodeId(0));
+            for v in 0..30 {
+                assert_eq!(nodes[v].dist, Some(want[v]), "seed {seed} node {v}");
+            }
+            assert!(report.dropped_messages > 0, "faults actually fired");
+            assert!(report.retransmissions > 0, "recovery actually worked");
+        }
+    }
+
+    #[test]
+    fn reliable_alpha_is_exactly_once_without_faults() {
+        let g = path(&GenConfig::with_seed(10, 0));
+        let plan = FaultPlan::new(0); // fault-free, but ARQ framing active
+        let (nodes, report) =
+            run_protocol_alpha_reliable(&g, bfs_nodes(10), 4, 2, &plan, 10_000).unwrap();
+        let want = bfs_distances(&g, kdom_graph::NodeId(0));
+        for v in 0..10 {
+            assert_eq!(nodes[v].dist, Some(want[v]));
+        }
+        assert_eq!(report.dropped_messages, 0);
+    }
+
+    #[test]
+    fn crash_at_pulse_zero_degrades_topology() {
+        // path 0-1-2-3-4-5: node 5 never starts; survivors complete BFS
+        let g = path(&GenConfig::with_seed(6, 0));
+        let plan = FaultPlan::new(9).crash(kdom_graph::NodeId(5), 0);
+        let (nodes, _) =
+            run_protocol_alpha_reliable(&g, bfs_nodes(6), 2, 3, &plan, 10_000).unwrap();
+        for (v, node) in nodes.iter().enumerate().take(5) {
+            assert_eq!(node.dist, Some(v as u32), "survivor {v}");
+        }
+        assert_eq!(nodes[5].dist, None, "crashed node learned nothing");
+    }
+
+    #[test]
+    fn mid_run_crash_does_not_wedge_neighbors() {
+        // star center crashes at pulse 2: leaves already have distances
+        // (assigned at pulse 1) and the run terminates cleanly
+        let g = kdom_graph::generators::star(&GenConfig::with_seed(8, 0));
+        let plan = FaultPlan::new(1).crash(kdom_graph::NodeId(0), 2);
+        let (nodes, _) =
+            run_protocol_alpha_reliable(&g, bfs_nodes(8), 3, 2, &plan, 10_000).unwrap();
+        assert_eq!(nodes[0].dist, Some(0));
+        for (v, node) in nodes.iter().enumerate().skip(1) {
+            assert_eq!(node.dist, Some(1), "leaf {v}");
+        }
+    }
+
+    #[test]
+    fn faulty_alpha_is_deterministic() {
+        let g = gnp_connected(&GenConfig::with_seed(25, 1), 0.15);
+        let plan = FaultPlan::new(3).drop_prob(0.2).dup_prob(0.05);
+        let (na, a) = run_protocol_alpha_reliable(&g, bfs_nodes(25), 6, 3, &plan, 10_000).unwrap();
+        let (nb, b) = run_protocol_alpha_reliable(&g, bfs_nodes(25), 6, 3, &plan, 10_000).unwrap();
+        assert_eq!(a, b, "identical (plan, seed) ⇒ identical reports");
+        for v in 0..25 {
+            assert_eq!(na[v].dist, nb[v].dist);
+        }
     }
 }

@@ -1,0 +1,352 @@
+//! Deterministic fault injection for the simulators.
+//!
+//! The paper's model (§1.2) assumes perfectly reliable synchronous links.
+//! This module makes that assumption a *toggle*: a [`FaultPlan`] describes
+//! a reproducible adversary — per-link message loss, duplication, bounded
+//! extra delivery delay (for the asynchronous executor), fail-stop node
+//! crashes, and link down-intervals — and a [`FaultInjector`] plays it
+//! back deterministically from a seed. The synchronous [`crate::Simulator`]
+//! and the synchronizer-α executor ([`crate::AlphaSimulator`]) both accept
+//! a plan; the reliable-delivery layer ([`crate::reliable`]) restores
+//! exactly-once semantics on top so unmodified protocols stay correct.
+//!
+//! All decisions are drawn from a single [`StdRng`] stream in simulation
+//! event order, so a `(plan, executor seed)` pair fully determines a run.
+
+use std::collections::HashMap;
+
+use kdom_graph::{EdgeId, NodeId};
+use kdom_rng::StdRng;
+
+/// A declarative, seeded description of the faults to inject into a run.
+///
+/// The default plan is fault-free, which reproduces the paper's reliable
+/// synchronous model exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault stream; equal plans replay identical faults.
+    pub seed: u64,
+    /// Per-transmission probability that a message is silently lost.
+    pub drop_prob: f64,
+    /// Per-transmission probability that a message is delivered twice.
+    pub dup_prob: f64,
+    /// Upper bound on the *extra* delivery delay (in virtual time units)
+    /// a message may suffer, drawn uniformly from `0..=max_extra_delay`.
+    /// Only the asynchronous executor interprets delays; the synchronous
+    /// simulator ignores this field.
+    pub max_extra_delay: u64,
+    /// Fail-stop crashes: each named node permanently halts when it
+    /// reaches the given round (synchronous) or pulse (α executor).
+    pub crashes: Vec<Crash>,
+    /// Intervals during which a link delivers nothing in either direction.
+    pub link_downs: Vec<LinkDown>,
+}
+
+/// A fail-stop crash of one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Crash {
+    /// The crashing node.
+    pub node: NodeId,
+    /// First round/pulse the node does **not** execute (`0` = the node
+    /// never participates at all, i.e. a degraded topology).
+    pub at: u64,
+}
+
+/// A down-interval of one link: transmissions in `from..until` (in rounds
+/// for the synchronous simulator, virtual time for α) are lost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkDown {
+    /// The affected undirected edge.
+    pub edge: EdgeId,
+    /// First failing instant (inclusive).
+    pub from: u64,
+    /// First working instant again (exclusive end of the outage).
+    pub until: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            max_extra_delay: 0,
+            crashes: Vec::new(),
+            link_downs: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A fault-free plan with the given seed (faults are opted into via
+    /// the builder methods).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Sets the per-transmission drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)` — a drop probability of 1 can
+    /// never be recovered from and would hang any retransmission scheme.
+    pub fn drop_prob(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability {p} must be in [0, 1)"
+        );
+        self.drop_prob = p;
+        self
+    }
+
+    /// Sets the per-transmission duplication probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn dup_prob(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "duplication probability {p} out of range"
+        );
+        self.dup_prob = p;
+        self
+    }
+
+    /// Sets the maximum extra delivery delay for the α executor.
+    pub fn max_extra_delay(mut self, d: u64) -> Self {
+        self.max_extra_delay = d;
+        self
+    }
+
+    /// Schedules a fail-stop crash of `node` at round/pulse `at`.
+    pub fn crash(mut self, node: NodeId, at: u64) -> Self {
+        self.crashes.push(Crash { node, at });
+        self
+    }
+
+    /// Schedules a down-interval `[from, until)` for `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from >= until`.
+    pub fn link_down(mut self, edge: EdgeId, from: u64, until: u64) -> Self {
+        assert!(from < until, "empty down-interval [{from}, {until})");
+        self.link_downs.push(LinkDown { edge, from, until });
+        self
+    }
+
+    /// Whether the plan injects any fault at all.
+    pub fn is_fault_free(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.dup_prob == 0.0
+            && self.max_extra_delay == 0
+            && self.crashes.is_empty()
+            && self.link_downs.is_empty()
+    }
+}
+
+/// The fate of a single physical transmission.
+///
+/// `copies` holds one entry per delivered copy — the entry is the *extra*
+/// delay of that copy. Empty means the transmission was lost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transmission {
+    /// Extra delay per delivered copy.
+    pub copies: Vec<u64>,
+}
+
+impl Transmission {
+    /// Whether the transmission was dropped entirely.
+    pub fn dropped(&self) -> bool {
+        self.copies.is_empty()
+    }
+}
+
+/// Deterministic executor of a [`FaultPlan`].
+///
+/// Counters ([`FaultInjector::dropped`], [`FaultInjector::duplicated`])
+/// accumulate across the run and are copied into the run reports.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    rng: StdRng,
+    drop_prob: f64,
+    dup_prob: f64,
+    max_extra_delay: u64,
+    crash_at: HashMap<usize, u64>,
+    downs: HashMap<usize, Vec<(u64, u64)>>,
+    dropped: u64,
+    duplicated: u64,
+}
+
+impl FaultInjector {
+    /// Compiles a plan into a replayable injector.
+    pub fn new(plan: &FaultPlan) -> Self {
+        let mut crash_at = HashMap::new();
+        for c in &plan.crashes {
+            // keep the earliest crash if a node is named twice
+            let e = crash_at.entry(c.node.0).or_insert(c.at);
+            *e = (*e).min(c.at);
+        }
+        let mut downs: HashMap<usize, Vec<(u64, u64)>> = HashMap::new();
+        for d in &plan.link_downs {
+            downs.entry(d.edge.0).or_default().push((d.from, d.until));
+        }
+        FaultInjector {
+            rng: StdRng::seed_from_u64(plan.seed),
+            drop_prob: plan.drop_prob,
+            dup_prob: plan.dup_prob,
+            max_extra_delay: plan.max_extra_delay,
+            crash_at,
+            downs,
+            dropped: 0,
+            duplicated: 0,
+        }
+    }
+
+    /// Whether `node` has crashed at or before round/pulse `now`.
+    pub fn is_crashed(&self, node: NodeId, now: u64) -> bool {
+        self.crash_at.get(&node.0).is_some_and(|&at| at <= now)
+    }
+
+    /// The round/pulse at which `node` crashes, if any.
+    pub fn crash_time(&self, node: NodeId) -> Option<u64> {
+        self.crash_at.get(&node.0).copied()
+    }
+
+    /// Whether `edge` is inside a down-interval at `now`.
+    pub fn link_is_down(&self, edge: EdgeId, now: u64) -> bool {
+        self.downs
+            .get(&edge.0)
+            .is_some_and(|iv| iv.iter().any(|&(f, u)| f <= now && now < u))
+    }
+
+    /// Decides the fate of one transmission over `edge` at time `now`,
+    /// advancing the deterministic fault stream.
+    pub fn transmit(&mut self, edge: EdgeId, now: u64) -> Transmission {
+        if self.link_is_down(edge, now) {
+            self.dropped += 1;
+            return Transmission { copies: Vec::new() };
+        }
+        if self.drop_prob > 0.0 && self.rng.random_bool(self.drop_prob) {
+            self.dropped += 1;
+            return Transmission { copies: Vec::new() };
+        }
+        let mut copies = Vec::with_capacity(1);
+        copies.push(self.extra_delay());
+        if self.dup_prob > 0.0 && self.rng.random_bool(self.dup_prob) {
+            self.duplicated += 1;
+            copies.push(self.extra_delay());
+        }
+        Transmission { copies }
+    }
+
+    fn extra_delay(&mut self) -> u64 {
+        if self.max_extra_delay == 0 {
+            0
+        } else {
+            self.rng.random_range(0..=self.max_extra_delay)
+        }
+    }
+
+    /// Messages lost so far (drops plus down-interval losses).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Extra copies injected so far.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_fault_free() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_fault_free());
+        let mut inj = FaultInjector::new(&plan);
+        for t in 0..1000 {
+            let tx = inj.transmit(EdgeId(0), t);
+            assert_eq!(tx.copies, vec![0]);
+        }
+        assert_eq!(inj.dropped(), 0);
+        assert_eq!(inj.duplicated(), 0);
+    }
+
+    #[test]
+    fn injector_is_deterministic() {
+        let plan = FaultPlan::new(7)
+            .drop_prob(0.3)
+            .dup_prob(0.2)
+            .max_extra_delay(5);
+        let mut a = FaultInjector::new(&plan);
+        let mut b = FaultInjector::new(&plan);
+        for t in 0..500 {
+            assert_eq!(
+                a.transmit(EdgeId(t as usize % 9), t),
+                b.transmit(EdgeId(t as usize % 9), t)
+            );
+        }
+        assert_eq!(a.dropped(), b.dropped());
+        assert_eq!(a.duplicated(), b.duplicated());
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let plan = FaultPlan::new(3).drop_prob(0.25);
+        let mut inj = FaultInjector::new(&plan);
+        let n = 20_000;
+        for t in 0..n {
+            inj.transmit(EdgeId(0), t);
+        }
+        let rate = inj.dropped() as f64 / n as f64;
+        assert!((0.22..0.28).contains(&rate), "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn duplication_produces_two_copies() {
+        let plan = FaultPlan::new(5).dup_prob(1.0).max_extra_delay(3);
+        let mut inj = FaultInjector::new(&plan);
+        let tx = inj.transmit(EdgeId(1), 0);
+        assert_eq!(tx.copies.len(), 2);
+        assert!(tx.copies.iter().all(|&d| d <= 3));
+        assert_eq!(inj.duplicated(), 1);
+    }
+
+    #[test]
+    fn crashes_and_earliest_wins() {
+        let plan = FaultPlan::new(0).crash(NodeId(4), 10).crash(NodeId(4), 3);
+        let inj = FaultInjector::new(&plan);
+        assert!(!inj.is_crashed(NodeId(4), 2));
+        assert!(inj.is_crashed(NodeId(4), 3));
+        assert!(inj.is_crashed(NodeId(4), 11));
+        assert_eq!(inj.crash_time(NodeId(4)), Some(3));
+        assert_eq!(inj.crash_time(NodeId(5)), None);
+    }
+
+    #[test]
+    fn link_down_interval_is_half_open() {
+        let plan = FaultPlan::new(0).link_down(EdgeId(2), 5, 8);
+        let mut inj = FaultInjector::new(&plan);
+        assert!(!inj.link_is_down(EdgeId(2), 4));
+        assert!(inj.link_is_down(EdgeId(2), 5));
+        assert!(inj.link_is_down(EdgeId(2), 7));
+        assert!(!inj.link_is_down(EdgeId(2), 8));
+        assert!(!inj.link_is_down(EdgeId(3), 6));
+        assert!(inj.transmit(EdgeId(2), 6).dropped());
+        assert_eq!(inj.dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn full_drop_rejected() {
+        let _ = FaultPlan::new(0).drop_prob(1.0);
+    }
+}

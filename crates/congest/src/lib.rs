@@ -4,7 +4,8 @@
 //!
 //! * computation proceeds in synchronous rounds;
 //! * a node may send **at most one message per incident edge per round**
-//!   (enforced — a double send panics);
+//!   (enforced — a double send aborts the run with
+//!   [`SimError::CongestViolation`]);
 //! * messages carry `O(log n)` bits (accounted via [`Message::size_bits`]
 //!   and reported in [`RunReport`]; the experiments check the bound);
 //! * nodes have unique identifiers and know the weights of incident edges.
@@ -44,14 +45,34 @@
 //! // 9 hops, one final processing step, one echo drained at the far end
 //! assert_eq!(report.rounds, 11);
 //! ```
+//!
+//! # Faults and recovery
+//!
+//! The paper assumes reliable links and crash-free nodes. The [`faults`]
+//! module makes that assumption a toggle: a seeded [`FaultPlan`] injects
+//! message loss, duplication, extra delay, link outages, and fail-stop
+//! crashes into either executor. The [`reliable`] module layers a
+//! link-level ARQ machine under the α synchronizer so that *unmodified*
+//! protocols stay correct under loss, and the watchdog turns every
+//! would-be hang into a structured [`SimError`] naming the stuck nodes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alpha;
+pub mod faults;
+pub mod reliable;
 mod report;
 mod sim;
 
-pub use alpha::{run_protocol_alpha, AlphaReport, AlphaSimulator};
+pub use alpha::{
+    run_protocol_alpha, run_protocol_alpha_faulty, run_protocol_alpha_reliable, AlphaReport,
+    AlphaSimulator,
+};
+pub use faults::{FaultInjector, FaultPlan};
+pub use reliable::ReliableConfig;
 pub use report::RunReport;
-pub use sim::{run_protocol, Message, NodeCtx, Outbox, Port, Protocol, SimError, Simulator};
+pub use sim::{
+    run_protocol, run_protocol_faulty, InvariantView, Message, NodeCtx, Outbox, Port, Protocol,
+    SimError, Simulator, StallReport,
+};

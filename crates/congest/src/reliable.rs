@@ -1,0 +1,260 @@
+//! Link-level reliable delivery: exactly-once semantics over lossy links.
+//!
+//! The synchronizer-α argument in the paper (§1.2) assumes reliable
+//! asynchronous links. When a [`crate::FaultPlan`] injects loss or
+//! duplication, that assumption breaks — and with it every protocol's
+//! correctness. This module restores it *underneath* the synchronizer:
+//! each directed link runs a tiny ARQ state machine (sequence numbers,
+//! per-frame acknowledgements, timeout-driven retransmission with
+//! exponential backoff, receiver-side duplicate suppression), so the α
+//! layer and the protocols above it observe a perfect FIFO-free reliable
+//! link again. Exactly-once delivery, not just at-least-once: duplicates —
+//! whether injected by the fault plan or produced by retransmission — are
+//! filtered by the receiver's seen-set.
+//!
+//! The state machine is deliberately executor-agnostic: it decides *what*
+//! to (re)transmit and *when to give up*, while the event-driven executor
+//! owns the clock and the wires. That keeps it unit-testable in isolation.
+
+use std::collections::{HashMap, HashSet};
+
+/// Tuning knobs of the per-link ARQ machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReliableConfig {
+    /// Initial retransmission timeout, in virtual time units. Should
+    /// exceed a round trip: see [`ReliableConfig::for_delays`].
+    pub base_timeout: u64,
+    /// Cap on the exponentially backed-off timeout.
+    pub max_timeout: u64,
+    /// Transmission attempts (first send included) before the link is
+    /// declared dead via [`crate::SimError::DeliveryExhausted`].
+    pub max_retx: u32,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig {
+            base_timeout: 8,
+            max_timeout: 1024,
+            max_retx: 64,
+        }
+    }
+}
+
+impl ReliableConfig {
+    /// A configuration whose initial timeout covers one full round trip
+    /// under the executor's delay model (`max_delay` base delay plus the
+    /// fault plan's `max_extra_delay`, each way).
+    pub fn for_delays(max_delay: u64, max_extra_delay: u64) -> Self {
+        let rtt = 2 * (max_delay + max_extra_delay);
+        ReliableConfig {
+            base_timeout: rtt + 2,
+            ..ReliableConfig::default()
+        }
+    }
+}
+
+/// What the executor should do when a retransmission timer fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RetxDecision<W> {
+    /// The frame was acknowledged in the meantime — nothing to do.
+    Acked,
+    /// Retransmit `wire` and re-arm the timer for `next_timeout` units.
+    Resend {
+        /// A fresh copy of the unacknowledged wire.
+        wire: W,
+        /// Backed-off timeout for the next attempt.
+        next_timeout: u64,
+    },
+    /// The retransmission budget is spent; the link must be declared dead.
+    Exhausted {
+        /// Total attempts made (for diagnostics).
+        attempts: u32,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Pending<W> {
+    wire: W,
+    attempts: u32,
+    timeout: u64,
+}
+
+/// ARQ endpoint state of one *directed* link.
+///
+/// The sender half tracks unacknowledged frames by sequence number; the
+/// receiver half deduplicates incoming sequence numbers. One `LinkState`
+/// per `(node, port)` covers both roles of that endpoint.
+#[derive(Clone, Debug, Default)]
+pub struct LinkState<W> {
+    next_seq: u64,
+    unacked: HashMap<u64, Pending<W>>,
+    seen: HashSet<u64>,
+}
+
+impl<W: Clone> LinkState<W> {
+    /// Fresh state with no history.
+    pub fn new() -> Self {
+        LinkState {
+            next_seq: 0,
+            unacked: HashMap::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Registers an outgoing frame, returning the sequence number to tag
+    /// it with. The frame is retained for retransmission until acked.
+    pub fn register_send(&mut self, wire: W, cfg: &ReliableConfig) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.unacked.insert(
+            seq,
+            Pending {
+                wire,
+                attempts: 1,
+                timeout: cfg.base_timeout,
+            },
+        );
+        seq
+    }
+
+    /// Processes an incoming link-level ack, returning the settled frame
+    /// if it was still outstanding (`None` for duplicate acks).
+    pub fn on_link_ack(&mut self, seq: u64) -> Option<W> {
+        self.unacked.remove(&seq).map(|p| p.wire)
+    }
+
+    /// Handles a fired retransmission timer for `seq`.
+    pub fn on_retx_timer(&mut self, seq: u64, cfg: &ReliableConfig) -> RetxDecision<W> {
+        let Some(p) = self.unacked.get_mut(&seq) else {
+            return RetxDecision::Acked;
+        };
+        if p.attempts >= cfg.max_retx {
+            return RetxDecision::Exhausted {
+                attempts: p.attempts,
+            };
+        }
+        p.attempts += 1;
+        p.timeout = (p.timeout * 2).min(cfg.max_timeout);
+        RetxDecision::Resend {
+            wire: p.wire.clone(),
+            next_timeout: p.timeout,
+        }
+    }
+
+    /// Receiver-side duplicate suppression: `true` exactly once per `seq`.
+    pub fn accept(&mut self, seq: u64) -> bool {
+        self.seen.insert(seq)
+    }
+
+    /// Abandons all outstanding frames (the peer is dead), returning them
+    /// so the caller can settle its accounting.
+    pub fn clear(&mut self) -> Vec<W> {
+        self.unacked.drain().map(|(_, p)| p.wire).collect()
+    }
+
+    /// Outstanding (sent, unacknowledged) frames.
+    pub fn unacked_wires(&self) -> impl Iterator<Item = &W> {
+        self.unacked.values().map(|p| &p.wire)
+    }
+
+    /// Whether nothing is awaiting acknowledgement.
+    pub fn is_settled(&self) -> bool {
+        self.unacked.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: ReliableConfig = ReliableConfig {
+        base_timeout: 4,
+        max_timeout: 16,
+        max_retx: 3,
+    };
+
+    #[test]
+    fn sequence_numbers_are_consecutive() {
+        let mut l: LinkState<u32> = LinkState::new();
+        assert_eq!(l.register_send(10, &CFG), 0);
+        assert_eq!(l.register_send(20, &CFG), 1);
+        assert_eq!(l.register_send(30, &CFG), 2);
+        assert!(!l.is_settled());
+    }
+
+    #[test]
+    fn ack_settles_and_duplicate_ack_is_inert() {
+        let mut l: LinkState<u32> = LinkState::new();
+        let s = l.register_send(7, &CFG);
+        assert_eq!(l.on_link_ack(s), Some(7));
+        assert_eq!(l.on_link_ack(s), None, "second ack is a no-op");
+        assert!(l.is_settled());
+        assert_eq!(l.on_retx_timer(s, &CFG), RetxDecision::Acked);
+    }
+
+    #[test]
+    fn retx_backs_off_exponentially_then_exhausts() {
+        let mut l: LinkState<u32> = LinkState::new();
+        let s = l.register_send(9, &CFG);
+        let RetxDecision::Resend { wire, next_timeout } = l.on_retx_timer(s, &CFG) else {
+            panic!("expected resend");
+        };
+        assert_eq!(wire, 9);
+        assert_eq!(next_timeout, 8);
+        let RetxDecision::Resend { next_timeout, .. } = l.on_retx_timer(s, &CFG) else {
+            panic!("expected resend");
+        };
+        assert_eq!(next_timeout, 16, "doubled and capped");
+        assert_eq!(
+            l.on_retx_timer(s, &CFG),
+            RetxDecision::Exhausted { attempts: 3 }
+        );
+    }
+
+    #[test]
+    fn timeout_cap_holds() {
+        let cfg = ReliableConfig {
+            base_timeout: 10,
+            max_timeout: 25,
+            max_retx: 10,
+        };
+        let mut l: LinkState<u32> = LinkState::new();
+        let s = l.register_send(1, &cfg);
+        let mut last = 0;
+        for _ in 0..5 {
+            if let RetxDecision::Resend { next_timeout, .. } = l.on_retx_timer(s, &cfg) {
+                last = next_timeout;
+            }
+        }
+        assert_eq!(last, 25);
+    }
+
+    #[test]
+    fn receiver_dedups_by_seq() {
+        let mut l: LinkState<u32> = LinkState::new();
+        assert!(l.accept(0));
+        assert!(!l.accept(0), "duplicate suppressed");
+        assert!(l.accept(5));
+        assert!(l.accept(1), "gaps are fine — links are not FIFO");
+    }
+
+    #[test]
+    fn clear_returns_outstanding_frames() {
+        let mut l: LinkState<u32> = LinkState::new();
+        let a = l.register_send(100, &CFG);
+        l.register_send(200, &CFG);
+        l.on_link_ack(a);
+        let mut dropped = l.clear();
+        dropped.sort_unstable();
+        assert_eq!(dropped, vec![200]);
+        assert!(l.is_settled());
+        assert_eq!(l.unacked_wires().count(), 0);
+    }
+
+    #[test]
+    fn for_delays_covers_round_trip() {
+        let cfg = ReliableConfig::for_delays(5, 3);
+        assert!(cfg.base_timeout > 2 * (5 + 3));
+    }
+}

@@ -20,6 +20,14 @@ pub struct RunReport {
     pub max_message_bits: u64,
     /// Maximum number of messages sent in any single round.
     pub peak_messages_per_round: u64,
+    /// Messages lost to injected faults (link drops, down-intervals, and
+    /// arrivals at crashed nodes). Zero in fault-free runs.
+    pub dropped_messages: u64,
+    /// Extra message copies injected by fault duplication.
+    pub duplicated_messages: u64,
+    /// Retransmissions performed by the reliable-delivery layer. Zero
+    /// when the layer is off or no loss occurred.
+    pub retransmissions: u64,
 }
 
 impl RunReport {
@@ -30,8 +38,12 @@ impl RunReport {
         self.messages += later.messages;
         self.total_bits += later.total_bits;
         self.max_message_bits = self.max_message_bits.max(later.max_message_bits);
-        self.peak_messages_per_round =
-            self.peak_messages_per_round.max(later.peak_messages_per_round);
+        self.peak_messages_per_round = self
+            .peak_messages_per_round
+            .max(later.peak_messages_per_round);
+        self.dropped_messages += later.dropped_messages;
+        self.duplicated_messages += later.duplicated_messages;
+        self.retransmissions += later.retransmissions;
     }
 
     /// Adds `rounds` charged rounds (used when a phase's cost is accounted
@@ -51,7 +63,15 @@ impl fmt::Display for RunReport {
             self.total_bits,
             self.max_message_bits,
             self.peak_messages_per_round
-        )
+        )?;
+        if self.dropped_messages + self.duplicated_messages + self.retransmissions > 0 {
+            write!(
+                f,
+                " dropped={} duplicated={} retx={}",
+                self.dropped_messages, self.duplicated_messages, self.retransmissions
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -67,6 +87,9 @@ mod tests {
             total_bits: 320,
             max_message_bits: 64,
             peak_messages_per_round: 2,
+            dropped_messages: 3,
+            duplicated_messages: 1,
+            retransmissions: 4,
         };
         let b = RunReport {
             rounds: 7,
@@ -74,6 +97,9 @@ mod tests {
             total_bits: 100,
             max_message_bits: 128,
             peak_messages_per_round: 1,
+            dropped_messages: 2,
+            duplicated_messages: 5,
+            retransmissions: 6,
         };
         a.absorb(&b);
         assert_eq!(a.rounds, 17);
@@ -81,6 +107,9 @@ mod tests {
         assert_eq!(a.total_bits, 420);
         assert_eq!(a.max_message_bits, 128);
         assert_eq!(a.peak_messages_per_round, 2);
+        assert_eq!(a.dropped_messages, 5);
+        assert_eq!(a.duplicated_messages, 6);
+        assert_eq!(a.retransmissions, 10);
     }
 
     #[test]

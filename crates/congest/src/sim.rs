@@ -1,9 +1,10 @@
-//! The synchronous round loop, node context, and outbox.
+//! The synchronous round loop, node context, outbox, and watchdog.
 
 use std::fmt;
 
 use kdom_graph::graph::{Arc, Graph, NodeId};
 
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::report::RunReport;
 
 /// A message that can travel over an edge.
@@ -48,14 +49,14 @@ pub struct NodeCtx<'a> {
 }
 
 impl<'a> NodeCtx<'a> {
-    pub(crate) fn new(
-        node: NodeId,
-        id: u64,
-        round: u64,
-        arcs: &'a [Arc],
-        ids: &'a [u64],
-    ) -> Self {
-        NodeCtx { node, id, round, arcs, ids }
+    pub(crate) fn new(node: NodeId, id: u64, round: u64, arcs: &'a [Arc], ids: &'a [u64]) -> Self {
+        NodeCtx {
+            node,
+            id,
+            round,
+            arcs,
+            ids,
+        }
     }
 }
 
@@ -88,29 +89,38 @@ impl NodeCtx<'_> {
 #[derive(Debug)]
 pub struct Outbox<M> {
     slots: Vec<Option<M>>,
+    violation: Option<Port>,
 }
 
 impl<M: Message> Outbox<M> {
     pub(crate) fn with_degree(degree: usize) -> Self {
-        Outbox { slots: (0..degree).map(|_| None).collect() }
+        Outbox {
+            slots: (0..degree).map(|_| None).collect(),
+            violation: None,
+        }
     }
 
     pub(crate) fn into_slots(self) -> Vec<Option<M>> {
         self.slots
     }
 
+    /// The first CONGEST violation recorded this round, if any.
+    pub(crate) fn violation(&self) -> Option<Port> {
+        self.violation
+    }
+
     /// Sends `msg` over `port`.
     ///
-    /// # Panics
-    ///
-    /// Panics if a message was already queued on `port` this round — that
-    /// would violate the CONGEST one-message-per-edge-per-round rule.
+    /// Queuing a second message on the same port in one round violates the
+    /// CONGEST one-message-per-edge-per-round rule; the violation is
+    /// recorded and surfaced by the simulator as
+    /// [`SimError::CongestViolation`] (the offending message is discarded).
     pub fn send(&mut self, port: Port, msg: M) {
         let slot = &mut self.slots[port.0];
-        assert!(
-            slot.is_none(),
-            "CONGEST violation: two messages on {port:?} in one round"
-        );
+        if slot.is_some() {
+            self.violation.get_or_insert(port);
+            return;
+        }
         *slot = Some(msg);
     }
 
@@ -146,7 +156,12 @@ pub trait Protocol {
     /// `inbox` holds the messages sent to this node in the previous round,
     /// ordered by port. Messages queued in `out` are delivered at the start
     /// of the next round.
-    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Port, Self::Msg)], out: &mut Outbox<Self::Msg>);
+    fn round(
+        &mut self,
+        ctx: &NodeCtx<'_>,
+        inbox: &[(Port, Self::Msg)],
+        out: &mut Outbox<Self::Msg>,
+    );
 
     /// Local termination flag. The simulator stops once every node is done
     /// *and* no messages are in flight; a node may "un-done" itself if a
@@ -154,37 +169,180 @@ pub trait Protocol {
     fn is_done(&self) -> bool;
 }
 
+/// Diagnostic snapshot attached to stall-style errors: which nodes are
+/// stuck, how deep their queues are, and when the run last made progress.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StallReport {
+    /// Nodes whose [`Protocol::is_done`] is still `false` (crashed nodes
+    /// excluded — they are expected to be unfinished).
+    pub not_done: Vec<NodeId>,
+    /// Nonempty pending queues: `(node, queued message count)`.
+    pub pending: Vec<(NodeId, usize)>,
+    /// Last round (or virtual time, for the α executor) at which any
+    /// message was delivered or any node made progress.
+    pub last_activity: u64,
+    /// Nodes that crashed per the fault plan.
+    pub crashed: Vec<NodeId>,
+}
+
+impl StallReport {
+    fn describe(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "; {} node(s) not done", self.not_done.len())?;
+        if !self.not_done.is_empty() {
+            let head: Vec<String> = self
+                .not_done
+                .iter()
+                .take(8)
+                .map(|v| format!("{v:?}"))
+                .collect();
+            write!(
+                f,
+                " [{}{}]",
+                head.join(", "),
+                if self.not_done.len() > 8 { ", …" } else { "" }
+            )?;
+        }
+        let depth: usize = self.pending.iter().map(|(_, d)| d).sum();
+        write!(f, "; {depth} message(s) pending",)?;
+        if !self.crashed.is_empty() {
+            write!(f, "; {} node(s) crashed", self.crashed.len())?;
+        }
+        write!(f, "; last activity at {}", self.last_activity)
+    }
+}
+
 /// Errors the simulator can report.
+///
+/// Every variant carries enough context to debug the failing run without
+/// re-running it — the watchdog philosophy is that a simulation never
+/// fails silently.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SimError {
     /// The protocol did not reach quiescence within the round budget.
     RoundLimitExceeded {
         /// The budget that was exhausted.
         limit: u64,
+        /// Who is stuck and why.
+        stall: StallReport,
+    },
+    /// The event queue drained while the protocol was still unfinished
+    /// (asynchronous executor only) — typically lost messages with no
+    /// recovery layer enabled.
+    Stalled {
+        /// Who is stuck and why.
+        stall: StallReport,
+    },
+    /// A node queued two messages on one port in a single round.
+    CongestViolation {
+        /// The offending node.
+        node: NodeId,
+        /// The port that was double-sent.
+        port: Port,
+        /// The round in which it happened.
+        round: u64,
+    },
+    /// An edge was present in one endpoint's adjacency list but not the
+    /// other's — a corrupted topology.
+    BrokenTopology {
+        /// The sending node.
+        node: NodeId,
+        /// The port with no reverse entry.
+        port: Port,
+    },
+    /// A user-registered per-round invariant check failed.
+    InvariantViolation {
+        /// Round at which the check failed.
+        round: u64,
+        /// Name the invariant was registered under.
+        name: String,
+        /// The checker's explanation.
+        detail: String,
+    },
+    /// The reliable-delivery layer gave up on a link after exhausting its
+    /// retransmission budget (asynchronous executor only).
+    DeliveryExhausted {
+        /// The sending node.
+        node: NodeId,
+        /// The port whose deliveries kept failing.
+        port: Port,
+        /// How many transmission attempts were made.
+        attempts: u32,
     },
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::RoundLimitExceeded { limit } => {
-                write!(f, "protocol did not quiesce within {limit} rounds")
+            SimError::RoundLimitExceeded { limit, stall } => {
+                write!(f, "protocol did not quiesce within {limit} rounds")?;
+                stall.describe(f)
             }
+            SimError::Stalled { stall } => {
+                write!(f, "execution stalled: no events left before quiescence")?;
+                stall.describe(f)
+            }
+            SimError::CongestViolation { node, port, round } => write!(
+                f,
+                "CONGEST violation: {node:?} sent two messages on {port:?} in round {round}"
+            ),
+            SimError::BrokenTopology { node, port } => write!(
+                f,
+                "broken topology: edge at {node:?} {port:?} is missing from its other endpoint"
+            ),
+            SimError::InvariantViolation {
+                round,
+                name,
+                detail,
+            } => {
+                write!(f, "invariant '{name}' violated at round {round}: {detail}")
+            }
+            SimError::DeliveryExhausted {
+                node,
+                port,
+                attempts,
+            } => write!(
+                f,
+                "reliable delivery exhausted after {attempts} attempts on {node:?} {port:?}"
+            ),
         }
     }
 }
 
 impl std::error::Error for SimError {}
 
+/// Read-only view handed to per-round invariant checks.
+pub struct InvariantView<'a, P: Protocol> {
+    /// The round that just executed.
+    pub round: u64,
+    /// All node automata.
+    pub nodes: &'a [P],
+    /// Messages queued for delivery next round, per node.
+    pub pending: &'a [Vec<(Port, P::Msg)>],
+}
+
+type InvariantFn<P> = Box<dyn FnMut(&InvariantView<'_, P>) -> Result<(), String>>;
+
 /// Deterministic lockstep executor of a [`Protocol`] over a graph.
-#[derive(Debug)]
 pub struct Simulator<'g, P: Protocol> {
     graph: &'g Graph,
     nodes: Vec<P>,
     /// Messages to deliver at the next round: `pending[v]` sorted by port.
     pending: Vec<Vec<(Port, P::Msg)>>,
+    /// Double buffer for `pending`, reused across rounds.
+    inbox_buf: Vec<Vec<(Port, P::Msg)>>,
     round: u64,
     report: RunReport,
+    /// Application-level node ids, hoisted out of the round loop.
+    ids: Vec<u64>,
+    /// `rev_port[v][p]`: the port of the edge `(v, p)` at its other
+    /// endpoint, precomputed so delivery is O(1) per message.
+    rev_port: Vec<Vec<Option<Port>>>,
+    injector: Option<FaultInjector>,
+    invariants: Vec<(String, InvariantFn<P>)>,
+    last_activity: u64,
+    /// Messages lost in the inboxes of crashed nodes (counted separately
+    /// from the injector's link-level drops).
+    crash_lost: u64,
 }
 
 impl<'g, P: Protocol> Simulator<'g, P> {
@@ -199,8 +357,51 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             graph.node_count(),
             "one automaton per node required"
         );
-        let pending = (0..graph.node_count()).map(|_| Vec::new()).collect();
-        Simulator { graph, nodes, pending, round: 0, report: RunReport::default() }
+        let n = graph.node_count();
+        let ids: Vec<u64> = (0..n).map(|v| graph.id_of(NodeId(v))).collect();
+        let rev_port = reverse_port_table(graph);
+        Simulator {
+            graph,
+            nodes,
+            pending: (0..n).map(|_| Vec::new()).collect(),
+            inbox_buf: (0..n).map(|_| Vec::new()).collect(),
+            round: 0,
+            report: RunReport::default(),
+            ids,
+            rev_port,
+            injector: None,
+            invariants: Vec::new(),
+            last_activity: 0,
+            crash_lost: 0,
+        }
+    }
+
+    /// Creates a simulator that injects the faults described by `plan`.
+    ///
+    /// Crash times are interpreted as rounds; `max_extra_delay` is ignored
+    /// (the synchronous model has no delivery delays). Without a recovery
+    /// layer most protocols are *expected* to fail under loss — the
+    /// watchdog turns that into a structured [`SimError`] instead of a
+    /// hang or a wrong answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != graph.node_count()`.
+    pub fn with_faults(graph: &'g Graph, nodes: Vec<P>, plan: &FaultPlan) -> Self {
+        let mut sim = Self::new(graph, nodes);
+        sim.injector = Some(FaultInjector::new(plan));
+        sim
+    }
+
+    /// Registers a per-round invariant check, run after every round; a
+    /// `Err(detail)` return aborts the run with
+    /// [`SimError::InvariantViolation`] naming `name`.
+    pub fn add_invariant(
+        &mut self,
+        name: impl Into<String>,
+        check: impl FnMut(&InvariantView<'_, P>) -> Result<(), String> + 'static,
+    ) {
+        self.invariants.push((name.into(), Box::new(check)));
     }
 
     /// The node automata (for output extraction after a run).
@@ -218,74 +419,188 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         &self.report
     }
 
-    /// Whether every node is done and no messages are in flight.
+    fn is_crashed(&self, v: usize) -> bool {
+        self.injector
+            .as_ref()
+            .is_some_and(|inj| inj.is_crashed(NodeId(v), self.round))
+    }
+
+    /// Whether every surviving node is done and no messages are in flight.
     pub fn quiescent(&self) -> bool {
-        self.pending.iter().all(Vec::is_empty) && self.nodes.iter().all(P::is_done)
+        self.pending.iter().all(Vec::is_empty)
+            && (0..self.nodes.len()).all(|v| self.nodes[v].is_done() || self.is_crashed(v))
+    }
+
+    fn stall_report(&self) -> StallReport {
+        let crashed: Vec<NodeId> = (0..self.nodes.len())
+            .filter(|&v| self.is_crashed(v))
+            .map(NodeId)
+            .collect();
+        StallReport {
+            not_done: (0..self.nodes.len())
+                .filter(|&v| !self.nodes[v].is_done() && !self.is_crashed(v))
+                .map(NodeId)
+                .collect(),
+            pending: self
+                .pending
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(v, q)| (NodeId(v), q.len()))
+                .collect(),
+            last_activity: self.last_activity,
+            crashed,
+        }
     }
 
     /// Executes a single round: delivers pending messages, steps every
-    /// automaton, and queues the newly sent messages.
-    pub fn step(&mut self) {
+    /// surviving automaton, and queues the newly sent messages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CongestViolation`] on a double send and
+    /// [`SimError::BrokenTopology`] on an asymmetric adjacency list.
+    pub fn step(&mut self) -> Result<(), SimError> {
         let n = self.graph.node_count();
-        let ids: Vec<u64> = (0..n).map(|v| self.graph.id_of(NodeId(v))).collect();
-        let inboxes = std::mem::replace(
-            &mut self.pending,
-            (0..n).map(|_| Vec::new()).collect(),
-        );
+        // swap in last round's (cleared) buffers: zero allocation per round
+        std::mem::swap(&mut self.pending, &mut self.inbox_buf);
         let mut round_msgs = 0u64;
         for v in 0..n {
+            if self.is_crashed(v) {
+                // a crashed node consumes nothing and sends nothing; its
+                // queued arrivals are lost
+                self.crash_lost += self.inbox_buf[v].len() as u64;
+                continue;
+            }
             let ctx = NodeCtx {
                 node: NodeId(v),
-                id: ids[v],
+                id: self.ids[v],
                 round: self.round,
                 arcs: self.graph.neighbors(NodeId(v)),
-                ids: &ids,
+                ids: &self.ids,
             };
             let mut out = Outbox::with_degree(ctx.degree());
-            self.nodes[v].round(&ctx, &inboxes[v], &mut out);
-            for (p, slot) in out.slots.into_iter().enumerate() {
+            self.nodes[v].round(&ctx, &self.inbox_buf[v], &mut out);
+            if let Some(port) = out.violation() {
+                return Err(SimError::CongestViolation {
+                    node: NodeId(v),
+                    port,
+                    round: self.round,
+                });
+            }
+            for (p, slot) in out.into_slots().into_iter().enumerate() {
                 let Some(msg) = slot else { continue };
                 let arc = self.graph.neighbors(NodeId(v))[p];
-                // The receiving port: position of this edge in the
-                // receiver's adjacency list.
-                let rp = self
-                    .graph
-                    .neighbors(arc.to)
-                    .iter()
-                    .position(|a| a.edge == arc.edge)
-                    .expect("edge present on both endpoints");
+                let Some(rp) = self.rev_port[v][p] else {
+                    return Err(SimError::BrokenTopology {
+                        node: NodeId(v),
+                        port: Port(p),
+                    });
+                };
                 let bits = msg.size_bits();
                 self.report.messages += 1;
                 self.report.total_bits += bits;
                 self.report.max_message_bits = self.report.max_message_bits.max(bits);
                 round_msgs += 1;
-                self.pending[arc.to.0].push((Port(rp), msg));
+                match self.injector.as_mut() {
+                    None => self.pending[arc.to.0].push((rp, msg)),
+                    Some(inj) => {
+                        let tx = inj.transmit(arc.edge, self.round);
+                        for _ in &tx.copies {
+                            self.pending[arc.to.0].push((rp, msg.clone()));
+                        }
+                    }
+                }
             }
+        }
+        for inbox in &mut self.inbox_buf {
+            inbox.clear();
         }
         for inbox in &mut self.pending {
             inbox.sort_by_key(|(p, _)| *p);
         }
-        self.report.peak_messages_per_round =
-            self.report.peak_messages_per_round.max(round_msgs);
+        if let Some(inj) = &self.injector {
+            self.report.dropped_messages = inj.dropped() + self.crash_lost;
+            self.report.duplicated_messages = inj.duplicated();
+        }
+        self.report.peak_messages_per_round = self.report.peak_messages_per_round.max(round_msgs);
+        if round_msgs > 0 {
+            self.last_activity = self.round;
+        }
         self.round += 1;
         self.report.rounds = self.round;
+        Ok(())
+    }
+
+    fn check_invariants(&mut self) -> Result<(), SimError> {
+        if self.invariants.is_empty() {
+            return Ok(());
+        }
+        let mut invariants = std::mem::take(&mut self.invariants);
+        let view = InvariantView {
+            round: self.round,
+            nodes: &self.nodes,
+            pending: &self.pending,
+        };
+        let mut failed = None;
+        for (name, check) in &mut invariants {
+            if let Err(detail) = check(&view) {
+                failed = Some(SimError::InvariantViolation {
+                    round: self.round,
+                    name: name.clone(),
+                    detail,
+                });
+                break;
+            }
+        }
+        self.invariants = invariants;
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Runs until quiescence or until `max_rounds` rounds were executed.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::RoundLimitExceeded`] if the protocol is still
-    /// active after `max_rounds` rounds.
+    /// Returns [`SimError::RoundLimitExceeded`] (with a [`StallReport`]
+    /// naming the stuck nodes) if the protocol is still active after
+    /// `max_rounds` rounds, and propagates every error of [`Self::step`]
+    /// and of registered invariant checks.
     pub fn run(&mut self, max_rounds: u64) -> Result<RunReport, SimError> {
         while !self.quiescent() {
             if self.round >= max_rounds {
-                return Err(SimError::RoundLimitExceeded { limit: max_rounds });
+                return Err(SimError::RoundLimitExceeded {
+                    limit: max_rounds,
+                    stall: self.stall_report(),
+                });
             }
-            self.step();
+            self.step()?;
+            self.check_invariants()?;
         }
         Ok(self.report.clone())
     }
+}
+
+/// Precomputes, for every `(node, port)`, the port the same edge occupies
+/// at the other endpoint (`None` marks a corrupted, asymmetric topology).
+pub(crate) fn reverse_port_table(graph: &Graph) -> Vec<Vec<Option<Port>>> {
+    (0..graph.node_count())
+        .map(|v| {
+            graph
+                .neighbors(NodeId(v))
+                .iter()
+                .map(|arc| {
+                    graph
+                        .neighbors(arc.to)
+                        .iter()
+                        .position(|a| a.edge == arc.edge)
+                        .map(Port)
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Convenience: builds a simulator, runs it to quiescence, and returns the
@@ -293,13 +608,30 @@ impl<'g, P: Protocol> Simulator<'g, P> {
 ///
 /// # Errors
 ///
-/// Propagates [`SimError::RoundLimitExceeded`].
+/// Propagates every [`SimError`] of [`Simulator::run`].
 pub fn run_protocol<P: Protocol>(
     graph: &Graph,
     nodes: Vec<P>,
     max_rounds: u64,
 ) -> Result<(Vec<P>, RunReport), SimError> {
     let mut sim = Simulator::new(graph, nodes);
+    sim.run(max_rounds)?;
+    let (nodes, report) = sim.into_parts();
+    Ok((nodes, report))
+}
+
+/// Convenience: like [`run_protocol`] but with a [`FaultPlan`] injected.
+///
+/// # Errors
+///
+/// Propagates every [`SimError`] of [`Simulator::run`].
+pub fn run_protocol_faulty<P: Protocol>(
+    graph: &Graph,
+    nodes: Vec<P>,
+    plan: &FaultPlan,
+    max_rounds: u64,
+) -> Result<(Vec<P>, RunReport), SimError> {
+    let mut sim = Simulator::with_faults(graph, nodes, plan);
     sim.run(max_rounds)?;
     let (nodes, report) = sim.into_parts();
     Ok((nodes, report))
@@ -320,6 +652,7 @@ mod tests {
         }
     }
 
+    #[derive(Debug)]
     struct Bfs {
         source: bool,
         dist: Option<u32>,
@@ -346,7 +679,10 @@ mod tests {
 
     fn run_bfs(g: &kdom_graph::Graph) -> (Vec<u32>, RunReport) {
         let nodes = (0..g.node_count())
-            .map(|i| Bfs { source: i == 0, dist: None })
+            .map(|i| Bfs {
+                source: i == 0,
+                dist: None,
+            })
             .collect();
         let (nodes, report) = run_protocol(g, nodes, 10_000).unwrap();
         (nodes.into_iter().map(|b| b.dist.unwrap()).collect(), report)
@@ -379,10 +715,12 @@ mod tests {
         assert_eq!(report.messages, 2);
         assert_eq!(report.total_bits, 2 * 32);
         assert!(report.peak_messages_per_round >= 1);
+        assert_eq!(report.dropped_messages, 0);
+        assert_eq!(report.duplicated_messages, 0);
     }
 
     #[test]
-    fn round_limit_errors() {
+    fn round_limit_reports_stuck_nodes() {
         #[derive(Debug)]
         struct Chatter;
         #[derive(Clone, Debug)]
@@ -399,13 +737,23 @@ mod tests {
         }
         let g = path(&GenConfig::with_seed(2, 0));
         let err = run_protocol(&g, vec![Chatter, Chatter], 5).unwrap_err();
-        assert_eq!(err, SimError::RoundLimitExceeded { limit: 5 });
+        let SimError::RoundLimitExceeded { limit, stall } = &err else {
+            panic!("expected RoundLimitExceeded, got {err:?}");
+        };
+        assert_eq!(*limit, 5);
+        assert_eq!(
+            stall.not_done,
+            vec![NodeId(0), NodeId(1)],
+            "stuck nodes are named"
+        );
+        assert!(!stall.pending.is_empty(), "queue depths are reported");
         assert!(err.to_string().contains("5 rounds"));
+        assert!(err.to_string().contains("2 node(s) not done"));
     }
 
     #[test]
-    #[should_panic(expected = "CONGEST violation")]
-    fn double_send_panics() {
+    fn double_send_is_a_typed_error() {
+        #[derive(Debug)]
         struct Bad;
         #[derive(Clone, Debug)]
         struct Ping;
@@ -421,7 +769,16 @@ mod tests {
             }
         }
         let g = path(&GenConfig::with_seed(2, 0));
-        let _ = run_protocol(&g, vec![Bad, Bad], 5);
+        let err = run_protocol(&g, vec![Bad, Bad], 5).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::CongestViolation {
+                node: NodeId(0),
+                port: Port(0),
+                round: 0
+            }
+        );
+        assert!(err.to_string().contains("CONGEST violation"));
     }
 
     #[test]
@@ -437,7 +794,12 @@ mod tests {
         }
         impl Protocol for Check {
             type Msg = IdMsg;
-            fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Port, IdMsg)], out: &mut Outbox<IdMsg>) {
+            fn round(
+                &mut self,
+                ctx: &NodeCtx<'_>,
+                inbox: &[(Port, IdMsg)],
+                out: &mut Outbox<IdMsg>,
+            ) {
                 if ctx.round == 0 {
                     out.broadcast(IdMsg(ctx.id));
                     self.fired = true;
@@ -453,7 +815,12 @@ mod tests {
             }
         }
         let g = star(&GenConfig::with_seed(9, 3));
-        let nodes = (0..9).map(|_| Check { ok: true, fired: false }).collect();
+        let nodes = (0..9)
+            .map(|_| Check {
+                ok: true,
+                fired: false,
+            })
+            .collect();
         let (nodes, _) = run_protocol(&g, nodes, 10).unwrap();
         assert!(nodes.iter().all(|n| n.ok));
     }
@@ -485,5 +852,154 @@ mod tests {
         let (_, report) = run_protocol(&g, nodes, 10).unwrap();
         assert_eq!(report.messages, 1);
         assert_eq!(report.rounds, 2);
+    }
+
+    #[test]
+    fn reverse_port_table_matches_scan() {
+        let g = kdom_graph::generators::gnp_connected(&GenConfig::with_seed(40, 5), 0.15);
+        let table = reverse_port_table(&g);
+        for (v, row) in table.iter().enumerate() {
+            for (p, arc) in g.neighbors(NodeId(v)).iter().enumerate() {
+                let rp = row[p].expect("consistent graph");
+                assert_eq!(g.neighbors(arc.to)[rp.0].edge, arc.edge);
+                assert_eq!(g.neighbors(arc.to)[rp.0].to, NodeId(v));
+            }
+        }
+    }
+
+    #[test]
+    fn crash_before_round_zero_degrades_topology() {
+        // path 0-1-2-3-4: crashing node 4 leaves 0..=3 reachable; BFS on
+        // the survivors matches BFS on the truncated path.
+        let g = path(&GenConfig::with_seed(5, 0));
+        let plan = FaultPlan::new(1).crash(NodeId(4), 0);
+        let nodes = (0..5)
+            .map(|i| Bfs {
+                source: i == 0,
+                dist: None,
+            })
+            .collect();
+        let (nodes, report) = run_protocol_faulty(&g, nodes, &plan, 100).unwrap();
+        for (v, node) in nodes.iter().enumerate().take(4) {
+            assert_eq!(node.dist, Some(v as u32), "survivor distances intact");
+        }
+        assert_eq!(nodes[4].dist, None, "crashed node learned nothing");
+        assert!(
+            report.dropped_messages >= 1,
+            "the wave into the crashed node is lost"
+        );
+    }
+
+    #[test]
+    fn mid_run_crash_partitions_the_wave() {
+        // path of 7, crash node 3 at round 2: the wave reaches nodes 0..=2
+        // (distances 0..=2 are assigned by end of round 2) but never
+        // crosses the crashed node; nodes 4..=6 stay unreached and the run
+        // exceeds its budget with a stall report naming them.
+        let g = path(&GenConfig::with_seed(7, 0));
+        let plan = FaultPlan::new(2).crash(NodeId(3), 2);
+        let nodes = (0..7)
+            .map(|i| Bfs {
+                source: i == 0,
+                dist: None,
+            })
+            .collect();
+        let err = run_protocol_faulty::<Bfs>(&g, nodes, &plan, 50).unwrap_err();
+        let SimError::RoundLimitExceeded { stall, .. } = err else {
+            panic!("expected budget exhaustion");
+        };
+        assert!(stall.not_done.contains(&NodeId(4)));
+        assert!(stall.not_done.contains(&NodeId(6)));
+        assert_eq!(stall.crashed, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn duplication_duplicates_delivery() {
+        #[derive(Debug, Default)]
+        struct Count {
+            got: usize,
+            ticked: bool,
+        }
+        #[derive(Clone, Debug)]
+        struct Ping;
+        impl Message for Ping {}
+        impl Protocol for Count {
+            type Msg = Ping;
+            fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Port, Ping)], out: &mut Outbox<Ping>) {
+                self.got += inbox.len();
+                if ctx.round == 0 && ctx.node == NodeId(0) {
+                    out.broadcast(Ping);
+                }
+                self.ticked = true;
+            }
+            fn is_done(&self) -> bool {
+                self.ticked
+            }
+        }
+        let g = path(&GenConfig::with_seed(2, 0));
+        let plan = FaultPlan::new(3).dup_prob(1.0);
+        let (nodes, report) =
+            run_protocol_faulty(&g, vec![Count::default(), Count::default()], &plan, 10).unwrap();
+        assert_eq!(nodes[1].got, 2, "duplicated copy arrives in the same round");
+        assert_eq!(report.duplicated_messages, 1);
+    }
+
+    #[test]
+    fn invariant_hook_aborts_with_context() {
+        let g = path(&GenConfig::with_seed(4, 0));
+        let nodes = (0..4)
+            .map(|i| Bfs {
+                source: i == 0,
+                dist: None,
+            })
+            .collect();
+        let mut sim = Simulator::new(&g, nodes);
+        sim.add_invariant("no-depth-beyond-1", |view| {
+            for (v, n) in view.nodes.iter().enumerate() {
+                if n.dist.is_some_and(|d| d > 1) {
+                    return Err(format!("node {v} reached depth {}", n.dist.unwrap()));
+                }
+            }
+            Ok(())
+        });
+        let err = sim.run(100).unwrap_err();
+        let SimError::InvariantViolation {
+            name,
+            round,
+            detail,
+        } = err
+        else {
+            panic!("expected invariant violation");
+        };
+        assert_eq!(name, "no-depth-beyond-1");
+        assert!(round >= 2);
+        assert!(detail.contains("depth 2"));
+    }
+
+    #[test]
+    fn invariant_pass_leaves_run_untouched() {
+        let g = path(&GenConfig::with_seed(6, 0));
+        let nodes = (0..6)
+            .map(|i| Bfs {
+                source: i == 0,
+                dist: None,
+            })
+            .collect();
+        let mut sim = Simulator::new(&g, nodes);
+        let g2 = path(&GenConfig::with_seed(6, 0));
+        sim.add_invariant("pending-sorted", |view| {
+            for q in view.pending {
+                if !q.windows(2).all(|w| w[0].0 <= w[1].0) {
+                    return Err("pending queue unsorted".into());
+                }
+            }
+            Ok(())
+        });
+        let report = sim.run(100).unwrap();
+        let want = bfs_distances(&g2, NodeId(0));
+        for (v, n) in sim.nodes().iter().enumerate() {
+            assert_eq!(n.dist, Some(want[v]));
+        }
+        assert!(report.rounds > 0);
     }
 }

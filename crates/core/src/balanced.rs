@@ -103,7 +103,9 @@ pub fn balanced_dom(parent: &[Option<usize>], ids: &[u64]) -> BalancedOut {
     let mut pending: Vec<(usize, usize)> = Vec::new(); // (v, u)
     for v in 0..n {
         if mis[v] && chooser_count(&dominator, v) == 0 {
-            let u = parent[v].or_else(|| children[v].first().copied()).expect("non-isolated");
+            let u = parent[v]
+                .or_else(|| children[v].first().copied())
+                .expect("non-isolated");
             debug_assert!(!mis[u], "neighbors of an MIS node are outside the MIS");
             pending.push((v, u));
             selected.push(u);
@@ -157,7 +159,11 @@ pub fn balanced_dom(parent: &[Option<usize>], ids: &[u64]) -> BalancedOut {
     // Virtual-round ledger: one round per CV iteration, 2 rounds per color
     // class for the MIS sweep, and 2 rounds for each of steps (2)-(4).
     let virtual_rounds = cv_iterations + 12 + 6;
-    BalancedOut { dominator, cv_iterations, virtual_rounds }
+    BalancedOut {
+        dominator,
+        cv_iterations,
+        virtual_rounds,
+    }
 }
 
 /// Validates the Definition 3.1 contract on the abstract forest:
@@ -220,12 +226,14 @@ mod tests {
             ("path", path(&GenConfig::with_seed(50, 1))),
             ("star", star(&GenConfig::with_seed(50, 2))),
             ("balanced", balanced_tree(&GenConfig::with_seed(50, 3), 3)),
-            ("caterpillar", caterpillar(&GenConfig::with_seed(50, 4), 0.3)),
+            (
+                "caterpillar",
+                caterpillar(&GenConfig::with_seed(50, 4), 0.3),
+            ),
         ] {
             let (parent, ids) = forest_of(&g);
             let out = balanced_dom(&parent, &ids);
-            check_balanced_forest(&parent, &out)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            check_balanced_forest(&parent, &out).unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 

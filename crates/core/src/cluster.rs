@@ -120,16 +120,33 @@ impl<'g> ClusterEngine<'g> {
         let mut dsu = kdom_graph::Dsu::new(nodes.len());
         for &(u, v) in tree_edges {
             let (lu, lv) = (local[u.0], local[v.0]);
-            assert!(lu != usize::MAX && lv != usize::MAX, "edge endpoint outside scope");
-            assert!(dsu.union(NodeId(lu), NodeId(lv)), "tree_edges contain a cycle");
+            assert!(
+                lu != usize::MAX && lv != usize::MAX,
+                "edge endpoint outside scope"
+            );
+            assert!(
+                dsu.union(NodeId(lu), NodeId(lv)),
+                "tree_edges contain a cycle"
+            );
             adj[lu].push(lv);
             adj[lv].push(lu);
         }
         let n = nodes.len();
         let clusters = (0..n)
-            .map(|v| Cluster { center: v, members: vec![v], radius: 0, state: ClusterState::Forest })
+            .map(|v| Cluster {
+                center: v,
+                members: vec![v],
+                radius: 0,
+                state: ClusterState::Forest,
+            })
             .collect();
-        ClusterEngine { g, nodes, adj, cluster_of: (0..n).collect(), clusters }
+        ClusterEngine {
+            g,
+            nodes,
+            adj,
+            cluster_of: (0..n).collect(),
+            clusters,
+        }
     }
 
     /// Number of original nodes in scope.
@@ -155,7 +172,11 @@ impl<'g> ClusterEngine<'g> {
     ///
     /// Panics if the cluster is dead.
     pub fn set_state(&mut self, c: usize, state: ClusterState) {
-        assert_ne!(self.clusters[c].state, ClusterState::Dead, "cluster {c} is dead");
+        assert_ne!(
+            self.clusters[c].state,
+            ClusterState::Dead,
+            "cluster {c} is dead"
+        );
         self.clusters[c].state = state;
     }
 
@@ -222,8 +243,11 @@ impl<'g> ClusterEngine<'g> {
     /// `participants` (all must be alive). Virtual singleton components
     /// are reported in [`BalancedStep::lone`] and left untouched.
     pub fn balanced_step(&mut self, participants: &[usize]) -> BalancedStep {
-        let slot_of: std::collections::HashMap<usize, usize> =
-            participants.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let slot_of: std::collections::HashMap<usize, usize> = participants
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i))
+            .collect();
         // virtual adjacency among participants
         let mut vadj: Vec<Vec<usize>> = vec![Vec::new(); participants.len()];
         for (i, &c) in participants.iter().enumerate() {
@@ -321,8 +345,13 @@ impl<'g> ClusterEngine<'g> {
         for (i, &s) in playing.iter().enumerate() {
             groups.entry(out.dominator[i]).or_default().push(s);
         }
+        // hash order is not deterministic across processes (or even across
+        // calls): fix the contraction order so cluster ids, member order,
+        // and every downstream tie-break are reproducible
+        let mut grouped: Vec<(usize, Vec<usize>)> = groups.into_iter().collect();
+        grouped.sort_unstable_by_key(|&(slot, _)| slot);
         let mut merged = Vec::new();
-        for (dom_slot, group) in groups {
+        for (dom_slot, group) in grouped {
             let dom_cluster = participants[playing[dom_slot]];
             let center = self.clusters[dom_cluster].center;
             let mut members = Vec::new();

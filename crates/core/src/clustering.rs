@@ -26,7 +26,10 @@ impl Clustering {
     /// own cluster assignment disagrees.
     pub fn new(cluster_of: Vec<usize>, centers: Vec<NodeId>) -> Self {
         for (v, &c) in cluster_of.iter().enumerate() {
-            assert!(c < centers.len(), "node {v} assigned to unknown cluster {c}");
+            assert!(
+                c < centers.len(),
+                "node {v} assigned to unknown cluster {c}"
+            );
         }
         for (c, &ctr) in centers.iter().enumerate() {
             assert_eq!(
@@ -34,12 +37,18 @@ impl Clustering {
                 "center {ctr:?} of cluster {c} is assigned elsewhere"
             );
         }
-        Clustering { cluster_of, centers }
+        Clustering {
+            cluster_of,
+            centers,
+        }
     }
 
     /// A single cluster covering the whole graph, centered at `center`.
     pub fn single(n: usize, center: NodeId) -> Self {
-        Clustering { cluster_of: vec![0; n], centers: vec![center] }
+        Clustering {
+            cluster_of: vec![0; n],
+            centers: vec![center],
+        }
     }
 
     /// Number of clusters.

@@ -42,7 +42,10 @@ pub fn six_color_forest(parent: &[Option<usize>], ids: &[u64]) -> ForestColoring
     assert_eq!(parent.len(), ids.len());
     for (v, p) in parent.iter().enumerate() {
         if let Some(p) = p {
-            assert!(ids[v] != ids[*p], "initial colors must differ between neighbors");
+            assert!(
+                ids[v] != ids[*p],
+                "initial colors must differ between neighbors"
+            );
         }
     }
     let mut colors: Vec<u64> = ids.to_vec();
@@ -60,7 +63,10 @@ pub fn six_color_forest(parent: &[Option<usize>], ids: &[u64]) -> ForestColoring
         iterations += 1;
         assert!(iterations <= 64 + 8, "Cole–Vishkin failed to converge");
     }
-    ForestColoring { colors: colors.into_iter().map(|c| c as u8).collect(), iterations }
+    ForestColoring {
+        colors: colors.into_iter().map(|c| c as u8).collect(),
+        iterations,
+    }
 }
 
 /// Greedy MIS by color class: for `c = 0..6`, every node of color `c`
@@ -203,8 +209,12 @@ mod tests {
     fn iterations_grow_slowly() {
         // even with adversarially large ids the iteration count stays tiny
         let n = 1000;
-        let parent: Vec<Option<usize>> = (0..n).map(|v| if v == 0 { None } else { Some(v - 1) }).collect();
-        let ids: Vec<u64> = (0..n as u64).map(|v| v.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let parent: Vec<Option<usize>> = (0..n)
+            .map(|v| if v == 0 { None } else { Some(v - 1) })
+            .collect();
+        let ids: Vec<u64> = (0..n as u64)
+            .map(|v| v.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
         let c = six_color_forest(&parent, &ids);
         assert!(is_proper_coloring(&parent, &c.colors));
         assert!(c.iterations <= 7, "got {}", c.iterations);

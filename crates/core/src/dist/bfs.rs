@@ -45,7 +45,13 @@ pub struct BfsNode {
 impl BfsNode {
     /// A fresh automaton; exactly one node must have `is_root = true`.
     pub fn new(is_root: bool) -> Self {
-        BfsNode { is_root, depth: None, parent: None, children: Vec::new(), forwarded: false }
+        BfsNode {
+            is_root,
+            depth: None,
+            parent: None,
+            children: Vec::new(),
+            forwarded: false,
+        }
     }
 
     /// Tree ports: parent + children.
@@ -110,7 +116,9 @@ impl Protocol for BfsNode {
 /// Panics if the graph is disconnected (the protocol would not quiesce
 /// with undiscovered nodes; they keep `depth = None` and the run errors).
 pub fn run_bfs(g: &Graph, root: NodeId) -> (Vec<BfsNode>, kdom_congest::RunReport) {
-    let nodes = (0..g.node_count()).map(|v| BfsNode::new(v == root.0)).collect();
+    let nodes = (0..g.node_count())
+        .map(|v| BfsNode::new(v == root.0))
+        .collect();
     let (nodes, report) = kdom_congest::run_protocol(g, nodes, 4 * g.node_count() as u64 + 16)
         .expect("BFS quiesces within O(n) rounds on a connected graph");
     (nodes, report)
@@ -119,8 +127,8 @@ pub fn run_bfs(g: &Graph, root: NodeId) -> (Vec<BfsNode>, kdom_congest::RunRepor
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kdom_graph::generators::{Family, GenConfig};
     use kdom_graph::generators::{gnp_connected, path};
+    use kdom_graph::generators::{Family, GenConfig};
     use kdom_graph::properties::{bfs_distances, eccentricity};
 
     #[test]
@@ -162,7 +170,12 @@ mod tests {
         let g = path(&GenConfig::with_seed(40, 1));
         let (_, report) = run_bfs(&g, NodeId(0));
         let ecc = eccentricity(&g, NodeId(0)) as u64;
-        assert!(report.rounds <= ecc + 3, "rounds {} vs ecc {}", report.rounds, ecc);
+        assert!(
+            report.rounds <= ecc + 3,
+            "rounds {} vs ecc {}",
+            report.rounds,
+            ecc
+        );
     }
 
     #[test]

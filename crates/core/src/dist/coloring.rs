@@ -171,7 +171,7 @@ impl Protocol for BalancedNode {
         // ——— MIS by color class ———
         if ctx.round >= mis_start && ctx.round < mis_start + 12 {
             let slot = ctx.round - mis_start;
-            if slot % 2 == 0 {
+            if slot.is_multiple_of(2) {
                 let c = slot / 2;
                 if self.color == c && !self.blocked && !self.in_mis {
                     self.in_mis = true;
@@ -275,7 +275,11 @@ mod tests {
                 let v = NodeId(v);
                 let parent = t.parent(v).map(|p| port_to(g, v, p));
                 let children = t.children(v).iter().map(|&c| port_to(g, v, c)).collect();
-                BalancedNode::new(BalancedConfig { parent, children, id_bits: 48 })
+                BalancedNode::new(BalancedConfig {
+                    parent,
+                    children,
+                    id_bits: 48,
+                })
             })
             .collect();
         kdom_congest::run_protocol(g, nodes, 10_000).expect("BalancedDOM quiesces")

@@ -108,7 +108,10 @@ pub struct DiamDomNode {
 impl DiamDomNode {
     /// A fresh automaton for a node whose cluster tree is `cfg`.
     pub fn new(cfg: TreeConfig) -> Self {
-        assert!(cfg.k < u16::MAX as usize, "k must fit the census wire format");
+        assert!(
+            cfg.k < u16::MAX as usize,
+            "k must fit the census wire format"
+        );
         DiamDomNode {
             cfg,
             depth: None,
@@ -136,7 +139,8 @@ impl DiamDomNode {
 
     /// The round at which this node must send its census for residue `l`.
     fn census_slot(&self, l: u64) -> u64 {
-        self.t1.expect("census after MInfo") + l
+        self.t1.expect("census after MInfo")
+            + l
             + u64::from(self.m.expect("census after MInfo") - self.depth.expect("depth set"))
     }
 
@@ -284,8 +288,7 @@ impl Protocol for DiamDomNode {
                 for l in 0..=k {
                     if ctx.round == self.census_slot(l) {
                         let l = l as u16;
-                        let count =
-                            self.my_membership(l) + self.census_acc.remove(&l).unwrap_or(0);
+                        let count = self.my_membership(l) + self.census_acc.remove(&l).unwrap_or(0);
                         out.send(
                             self.cfg.parent.expect("non-root"),
                             DdMsg::Census { l, count },
@@ -400,24 +403,27 @@ pub fn run_diamdom(g: &Graph, root: NodeId, k: usize) -> DiamDomRun {
         kdom_congest::run_protocol(g, nodes, budget).expect("DiamDOM quiesces");
     let id_to_node: std::collections::HashMap<u64, NodeId> =
         g.nodes().map(|v| (g.id_of(v), v)).collect();
-    let dominators: Vec<NodeId> = g
-        .nodes()
-        .filter(|&v| nodes[v.0].is_dominator)
-        .collect();
+    let dominators: Vec<NodeId> = g.nodes().filter(|&v| nodes[v.0].is_dominator).collect();
     let dominator_of: Vec<NodeId> = nodes
         .iter()
         .map(|n| id_to_node[&n.dominator.expect("all nodes claimed")])
         .collect();
     let chosen = nodes[root.0].chosen.expect("root decided");
-    DiamDomRun { dominators, dominator_of, chosen, bfs_report, dd_report }
+    DiamDomRun {
+        dominators,
+        dominator_of,
+        chosen,
+        bfs_report,
+        dd_report,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::verify::{check_dominating_size, check_k_dominating};
-    use kdom_graph::generators::{Family, GenConfig};
     use kdom_graph::generators::{gnp_connected, path, random_tree, star};
+    use kdom_graph::generators::{Family, GenConfig};
     use kdom_graph::properties::diameter;
 
     #[test]

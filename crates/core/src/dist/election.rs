@@ -32,7 +32,10 @@ pub struct ElectionNode {
 impl ElectionNode {
     /// A fresh automaton.
     pub fn new() -> Self {
-        ElectionNode { best: 0, started: false }
+        ElectionNode {
+            best: 0,
+            started: false,
+        }
     }
 
     /// Whether this node believes itself elected (call after the run).
@@ -79,9 +82,8 @@ impl Protocol for ElectionNode {
 pub fn elect_leader(g: &Graph) -> (NodeId, RunReport) {
     assert!(g.node_count() > 0, "cannot elect on an empty graph");
     let nodes = (0..g.node_count()).map(|_| ElectionNode::new()).collect();
-    let (nodes, report) =
-        kdom_congest::run_protocol(g, nodes, 4 * g.node_count() as u64 + 16)
-            .expect("election quiesces on a connected graph");
+    let (nodes, report) = kdom_congest::run_protocol(g, nodes, 4 * g.node_count() as u64 + 16)
+        .expect("election quiesces on a connected graph");
     let max_id = g.nodes().map(|v| g.id_of(v)).max().expect("non-empty");
     let leader = g.node_with_id(max_id).expect("max id exists");
     for v in g.nodes() {
@@ -111,7 +113,11 @@ mod tests {
         let g = Family::Path.generate(120, 4);
         let (_, report) = elect_leader(&g);
         let d = u64::from(diameter(&g));
-        assert!(report.rounds <= 2 * d + 4, "{} rounds vs diam {d}", report.rounds);
+        assert!(
+            report.rounds <= 2 * d + 4,
+            "{} rounds vs diam {d}",
+            report.rounds
+        );
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Pluggable execution backends for the composed algorithms.
+//!
+//! The paper's reliability assumption is an *assumption*, not part of the
+//! algorithms — so the compositions take it as a toggle. [`Executor::Sync`]
+//! is the lock-step CONGEST model every protocol was written for;
+//! [`Executor::ReliableAlpha`] runs the *same unmodified automata* over an
+//! asynchronous network with injected faults, with synchronizer α
+//! restoring rounds and the ARQ layer restoring exactly-once delivery.
+//! The recovery tests assert that both backends produce byte-identical
+//! outputs.
+
+use kdom_congest::{FaultPlan, Protocol, RunReport, SimError};
+use kdom_graph::Graph;
+
+/// How a composition's measured protocol stages are executed.
+#[derive(Clone, Debug, Default)]
+pub enum Executor {
+    /// Lock-step synchronous CONGEST rounds (the default; no overhead).
+    #[default]
+    Sync,
+    /// Synchronizer α over a faulty asynchronous network, recovered by
+    /// the reliable (ARQ) transport.
+    ReliableAlpha {
+        /// Seed for the per-message base delays.
+        seed: u64,
+        /// Maximum base link delay, in virtual time units (≥ 1).
+        max_delay: u64,
+        /// The adversary: drops, duplication, extra delay, crashes.
+        plan: FaultPlan,
+    },
+}
+
+impl Executor {
+    /// Runs `nodes` to quiescence under this backend. `max_rounds` bounds
+    /// synchronous rounds and α pulses alike (α executes exactly one
+    /// protocol round per pulse, so the same budget fits both).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the simulator's [`SimError`] — budget exhaustion and
+    /// stalls carry a [`kdom_congest::StallReport`] naming the stuck nodes.
+    pub fn run<P: Protocol>(
+        &self,
+        g: &Graph,
+        nodes: Vec<P>,
+        max_rounds: u64,
+    ) -> Result<(Vec<P>, RunReport), SimError> {
+        match self {
+            Executor::Sync => kdom_congest::run_protocol(g, nodes, max_rounds),
+            Executor::ReliableAlpha {
+                seed,
+                max_delay,
+                plan,
+            } => {
+                let (nodes, report) = kdom_congest::run_protocol_alpha_reliable(
+                    g, nodes, *seed, *max_delay, plan, max_rounds,
+                )?;
+                Ok((nodes, report.into()))
+            }
+        }
+    }
+
+    /// A short human label for reports and benchmarks.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Executor::Sync => "sync",
+            Executor::ReliableAlpha { .. } => "reliable-α",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::election::ElectionNode;
+    use kdom_graph::generators::Family;
+
+    #[test]
+    fn backends_agree_on_election() {
+        let g = Family::Gnp.generate(24, 7);
+        let max_id = g.nodes().map(|v| g.id_of(v)).max().unwrap();
+        for exec in [
+            Executor::Sync,
+            Executor::ReliableAlpha {
+                seed: 11,
+                max_delay: 3,
+                plan: FaultPlan::new(5).drop_prob(0.25),
+            },
+        ] {
+            let nodes = (0..g.node_count()).map(|_| ElectionNode::new()).collect();
+            let (nodes, report) = exec.run(&g, nodes, 1_000_000).unwrap();
+            assert!(nodes.iter().all(|n| n.best == max_id), "{}", exec.label());
+            assert!(report.rounds > 0);
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let a = Executor::Sync.label();
+        let b = Executor::ReliableAlpha {
+            seed: 0,
+            max_delay: 1,
+            plan: FaultPlan::new(0),
+        }
+        .label();
+        assert_ne!(a, b);
+    }
+}

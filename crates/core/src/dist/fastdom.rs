@@ -17,7 +17,8 @@ use kdom_graph::{Graph, NodeId};
 use crate::cluster::Charge;
 use crate::clustering::Clustering;
 use crate::dist::diamdom::{DiamDomNode, TreeConfig};
-use crate::dist::fragments::run_simple_mst;
+use crate::dist::executor::Executor;
+use crate::dist::fragments::run_simple_mst_on;
 use crate::dist::treedp::{DpConfig, TreeDpNode};
 use crate::fastdom::WithinCluster;
 use crate::partition::dom_partition;
@@ -97,7 +98,11 @@ fn plan_cluster_trees(
         }
         assert_eq!(reached, members.len(), "cluster must be tree-connected");
     }
-    ClusterTreePlan { parent, children, depth }
+    ClusterTreePlan {
+        parent,
+        children,
+        depth,
+    }
 }
 
 /// Runs the within-cluster stage distributedly over all clusters and
@@ -107,6 +112,7 @@ fn run_within(
     plan: &ClusterTreePlan,
     k: usize,
     solver: WithinCluster,
+    exec: &Executor,
 ) -> (Vec<u64>, RunReport) {
     let n = g.node_count();
     let budget = 30 * (n as u64 + k as u64) + 128;
@@ -122,8 +128,9 @@ fn run_within(
                     })
                 })
                 .collect();
-            let (nodes, report) =
-                kdom_congest::run_protocol(g, nodes, budget).expect("DiamDOM stage quiesces");
+            let (nodes, report) = exec
+                .run(g, nodes, budget)
+                .unwrap_or_else(|e| panic!("DiamDOM stage failed: {e}"));
             (
                 nodes
                     .iter()
@@ -142,8 +149,9 @@ fn run_within(
                     })
                 })
                 .collect();
-            let (nodes, report) =
-                kdom_congest::run_protocol(g, nodes, budget).expect("DP stage quiesces");
+            let (nodes, report) = exec
+                .run(g, nodes, budget)
+                .unwrap_or_else(|e| panic!("DP stage failed: {e}"));
             (
                 nodes
                     .iter()
@@ -179,7 +187,26 @@ fn clustering_from_dominators(g: &Graph, dominator_id: &[u64]) -> Clustering {
 ///
 /// Panics if `g` is not a tree.
 pub fn fast_dom_t_distributed(g: &Graph, k: usize, solver: WithinCluster) -> DistFastDom {
-    assert!(kdom_graph::properties::is_tree(g), "FastDOM_T requires a tree");
+    fast_dom_t_distributed_on(g, k, solver, &Executor::Sync)
+}
+
+/// [`fast_dom_t_distributed`] on a chosen execution backend: the
+/// measured within-cluster stage runs the same automata under the
+/// backend (e.g. reliable α over faulty links).
+///
+/// # Panics
+///
+/// Panics if `g` is not a tree or a protocol stage fails.
+pub fn fast_dom_t_distributed_on(
+    g: &Graph,
+    k: usize,
+    solver: WithinCluster,
+    exec: &Executor,
+) -> DistFastDom {
+    assert!(
+        kdom_graph::properties::is_tree(g),
+        "FastDOM_T requires a tree"
+    );
     let nodes: Vec<NodeId> = g.nodes().collect();
     let edges: Vec<(NodeId, NodeId)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
     let part = dom_partition(g, nodes, &edges, k);
@@ -189,7 +216,7 @@ pub fn fast_dom_t_distributed(g: &Graph, k: usize, solver: WithinCluster) -> Dis
         tree_adj[v.0].push(u);
     }
     let plan = plan_cluster_trees(g, &part.clusters, &tree_adj);
-    let (dominator_id, within_report) = run_within(g, &plan, k, solver);
+    let (dominator_id, within_report) = run_within(g, &plan, k, solver, exec);
     DistFastDom {
         clustering: clustering_from_dominators(g, &dominator_id),
         fragment_rounds: 0,
@@ -201,7 +228,23 @@ pub fn fast_dom_t_distributed(g: &Graph, k: usize, solver: WithinCluster) -> Dis
 /// Distributed `FastDOM_G` on a connected graph: measured `SimpleMST`
 /// stage, charged `DOMPartition` stage, measured within-cluster stage.
 pub fn fast_dom_g_distributed(g: &Graph, k: usize, solver: WithinCluster) -> DistFastDom {
-    let fragments = run_simple_mst(g, k);
+    fast_dom_g_distributed_on(g, k, solver, &Executor::Sync)
+}
+
+/// [`fast_dom_g_distributed`] on a chosen execution backend: both
+/// measured stages (`SimpleMST` and within-cluster) run the same automata
+/// under the backend (e.g. reliable α over faulty links).
+///
+/// # Panics
+///
+/// Panics if a protocol stage fails.
+pub fn fast_dom_g_distributed_on(
+    g: &Graph,
+    k: usize,
+    solver: WithinCluster,
+    exec: &Executor,
+) -> DistFastDom {
+    let fragments = run_simple_mst_on(g, k, exec);
     let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); fragments.roots.len()];
     for v in g.nodes() {
         members[fragments.fragment_of[v.0]].push(v);
@@ -224,7 +267,7 @@ pub fn fast_dom_g_distributed(g: &Graph, k: usize, solver: WithinCluster) -> Dis
         all_clusters.extend(res.clusters);
     }
     let plan = plan_cluster_trees(g, &all_clusters, &tree_adj);
-    let (dominator_id, within_report) = run_within(g, &plan, k, solver);
+    let (dominator_id, within_report) = run_within(g, &plan, k, solver, exec);
     DistFastDom {
         clustering: clustering_from_dominators(g, &dominator_id),
         fragment_rounds: fragments.report.rounds,
@@ -247,7 +290,10 @@ mod tests {
                 let res = fast_dom_t_distributed(&g, k, WithinCluster::OptimalDp);
                 check_fastdom_output(&g, &res.clustering, k)
                     .unwrap_or_else(|e| panic!("{fam} k={k}: {e}"));
-                assert!(res.within_report.rounds > 0, "{fam}: stage must be measured");
+                assert!(
+                    res.within_report.rounds > 0,
+                    "{fam}: stage must be measured"
+                );
             }
         }
     }
@@ -258,8 +304,7 @@ mod tests {
             let k = 4;
             let g = fam.generate(120, 9);
             let res = fast_dom_t_distributed(&g, k, WithinCluster::DiamDom);
-            check_k_dominating(&g, res.dominators(), k)
-                .unwrap_or_else(|e| panic!("{fam}: {e}"));
+            check_k_dominating(&g, res.dominators(), k).unwrap_or_else(|e| panic!("{fam}: {e}"));
             crate::verify::check_clusters(&g, &res.clustering, 1, k as u32)
                 .unwrap_or_else(|e| panic!("{fam}: {e}"));
         }
@@ -291,6 +336,22 @@ mod tests {
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeated_runs_are_bit_identical() {
+        // regression: BalancedDOM contraction once iterated a HashMap, so
+        // two runs in the same process could disagree on cluster ids and
+        // hence on DP tie-breaks — the fault-recovery suite needs
+        // run-to-run determinism to compare backends
+        let g = Family::RandomTree.generate(60, 30);
+        let a = fast_dom_t_distributed(&g, 2, WithinCluster::OptimalDp);
+        let b = fast_dom_t_distributed(&g, 2, WithinCluster::OptimalDp);
+        assert_eq!(a.dominators(), b.dominators());
+        let gg = Family::Gnp.generate(60, 30);
+        let ga = fast_dom_g_distributed(&gg, 2, WithinCluster::OptimalDp);
+        let gb = fast_dom_g_distributed(&gg, 2, WithinCluster::OptimalDp);
+        assert_eq!(ga.dominators(), gb.dominators());
     }
 
     #[test]

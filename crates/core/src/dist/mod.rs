@@ -13,6 +13,8 @@
 //!   with the paper's staggered census pipelining;
 //! * [`coloring`] — Cole–Vishkin 6-coloring + MIS on rooted forests, the
 //!   measured `O(log* n)` engine behind `BalancedDOM`;
+//! * [`executor`] — pluggable execution backends (synchronous vs.
+//!   reliable-α-over-faults) for the compositions;
 //! * [`fragments`] — `SimpleMST` (§4.3), the phase-scheduled fragment
 //!   growth with identity refresh, MWOE convergecast and root transfer;
 //! * [`treedp`] — the exact tree k-domination DP as one convergecast +
@@ -21,9 +23,10 @@
 //!   a measured within-cluster stage.
 
 pub mod bfs;
-pub mod election;
 pub mod coloring;
 pub mod diamdom;
+pub mod election;
+pub mod executor;
 pub mod fastdom;
 pub mod fragments;
 pub mod partition1;

@@ -165,7 +165,12 @@ impl Timetable {
             t += Self::iteration_len(r, cv_iters);
             r = 3 * r + 1;
         }
-        Timetable { cv_iters, starts, radius, end: t }
+        Timetable {
+            cv_iters,
+            starts,
+            radius,
+            end: t,
+        }
     }
 
     fn phase_len(r: u64) -> u64 {
@@ -353,17 +358,15 @@ impl Partition1Node {
     /// Handles one boundary crossing during a phase's Cross round.
     fn on_cross(&mut self, seg: Seg, port: Port, their_cluster: u64, a: u64) {
         match seg {
-            Seg::Cv(_) => {
+            Seg::Cv(_)
                 // parent-cluster color reaches the topmost node
-                if self.topmost && Some(port) == self.t_parent {
+                if self.topmost && Some(port) == self.t_parent => {
                     self.fold_up(a, NONE64, 0);
                 }
-            }
-            Seg::Mis(_) => {
-                if a == 1 {
+            Seg::Mis(_)
+                if a == 1 => {
                     self.fold_up(NONE64, NONE64, 1); // some neighbor joined
                 }
-            }
             Seg::Info => {
                 // a = neighbor's in_mis flag
                 if a == 1 {
@@ -377,18 +380,16 @@ impl Partition1Node {
                     self.fold_up(NONE64, NONE64, 1 | (a << 1) | (their_cluster << 2));
                 }
             }
-            Seg::Choose => {
+            Seg::Choose
                 // a == 1 marks "I choose your cluster"
-                if a == 1 {
+                if a == 1 => {
                     self.chooser_ports.push((port, their_cluster));
                     self.fold_up(NONE64, NONE64, 1);
                 }
-            }
-            Seg::Select => {
-                if a == 1 {
+            Seg::Select
+                if a == 1 => {
                     self.fold_up(NONE64, NONE64, 1); // our cluster got selected
                 }
-            }
             Seg::NewDom => {
                 // a = neighbor became a dominator this iteration
                 if let Some(&(_, cl)) = self.chooser_ports.iter().find(|(p, _)| *p == port) {
@@ -399,16 +400,15 @@ impl Partition1Node {
                     }
                 }
             }
-            Seg::MergePrep => {
+            Seg::MergePrep
                 // a = (depth << 1) | stays
                 if !self.stay
                     && self.merge_target == Some(their_cluster)
                     && a & 1 == 1
                     && self.contact.is_none()
-                {
+                => {
                     self.contact = Some((port, (a >> 1) as u32));
                 }
-            }
             _ => {}
         }
     }
@@ -431,10 +431,8 @@ impl Partition1Node {
                 let i = diff.trailing_zeros();
                 cs.color = u64::from(2 * i) + ((cs.color >> i) & 1);
             }
-            Seg::Mis(_) => {
-                if c & 1 == 1 {
-                    self.center.blocked = true;
-                }
+            Seg::Mis(_) if c & 1 == 1 => {
+                self.center.blocked = true;
             }
             Seg::Info => {
                 // a = min MIS neighbor, b = min neighbor, c = flags | pcl<<2
@@ -466,18 +464,16 @@ impl Partition1Node {
                     self.center.has_chooser = true;
                 }
                 // stash the Select payload
-                self.pending_down = if self.center.in_mis
-                    && !self.center.has_chooser
-                    && !self.center.lone
-                {
-                    // deserted singleton: follow the min-id neighbor
-                    debug_assert_ne!(min_any, NONE64);
-                    self.merge_target = Some(min_any);
-                    self.stay = false;
-                    Some(min_any)
-                } else {
-                    None
-                };
+                self.pending_down =
+                    if self.center.in_mis && !self.center.has_chooser && !self.center.lone {
+                        // deserted singleton: follow the min-id neighbor
+                        debug_assert_ne!(min_any, NONE64);
+                        self.merge_target = Some(min_any);
+                        self.stay = false;
+                        Some(min_any)
+                    } else {
+                        None
+                    };
             }
             Seg::Select => {
                 // stash the NewDom payload: did we just get selected?
@@ -559,7 +555,13 @@ impl Protocol for Partition1Node {
                         self.wave_done = true;
                         for (q, ncl) in self.neighbor_cluster.clone() {
                             if ncl == old && q != *p {
-                                out.send(q, P1Msg::Wave { cluster: *cluster, depth: self.depth });
+                                out.send(
+                                    q,
+                                    P1Msg::Wave {
+                                        cluster: *cluster,
+                                        depth: self.depth,
+                                    },
+                                );
                             }
                         }
                     }
@@ -579,7 +581,10 @@ impl Protocol for Partition1Node {
                     self.wave_done = false;
                     self.reset_segment();
                     if self.is_center {
-                        self.center = CenterState { color: ctx.id, ..CenterState::default() };
+                        self.center = CenterState {
+                            color: ctx.id,
+                            ..CenterState::default()
+                        };
                     }
                     for &p in &self.all_ports.clone() {
                         out.send(p, P1Msg::Xchg(self.cluster));
@@ -588,7 +593,14 @@ impl Protocol for Partition1Node {
                 Seg::MergePrep => {
                     let payload = (u64::from(self.depth) << 1) | u64::from(self.stay);
                     for (p, _) in self.boundary_ports() {
-                        out.send(p, P1Msg::Cross { seg: code, cluster: self.cluster, a: payload });
+                        out.send(
+                            p,
+                            P1Msg::Cross {
+                                seg: code,
+                                cluster: self.cluster,
+                                a: payload,
+                            },
+                        );
                     }
                 }
                 Seg::Wave => {
@@ -601,7 +613,13 @@ impl Protocol for Partition1Node {
                         self.wave_done = true;
                         for (q, ncl) in self.neighbor_cluster.clone() {
                             if ncl == old {
-                                out.send(q, P1Msg::Wave { cluster: self.cluster, depth: self.depth });
+                                out.send(
+                                    q,
+                                    P1Msg::Wave {
+                                        cluster: self.cluster,
+                                        depth: self.depth,
+                                    },
+                                );
                             }
                         }
                     }
@@ -660,7 +678,14 @@ impl Protocol for Partition1Node {
                         0
                     });
                     for (p, _) in self.boundary_ports() {
-                        out.send(p, P1Msg::Cross { seg: code, cluster: self.cluster, a });
+                        out.send(
+                            p,
+                            P1Msg::Cross {
+                                seg: code,
+                                cluster: self.cluster,
+                                a,
+                            },
+                        );
                     }
                 }
                 Seg::Choose | Seg::Select => {
@@ -671,7 +696,11 @@ impl Protocol for Partition1Node {
                                 if cl == target {
                                     out.send(
                                         p,
-                                        P1Msg::Cross { seg: code, cluster: self.cluster, a: 1 },
+                                        P1Msg::Cross {
+                                            seg: code,
+                                            cluster: self.cluster,
+                                            a: 1,
+                                        },
                                     );
                                 }
                             }
@@ -681,7 +710,14 @@ impl Protocol for Partition1Node {
                 Seg::NewDom => {
                     let a = self.down_val.unwrap_or(0);
                     for (p, _) in self.boundary_ports() {
-                        out.send(p, P1Msg::Cross { seg: code, cluster: self.cluster, a });
+                        out.send(
+                            p,
+                            P1Msg::Cross {
+                                seg: code,
+                                cluster: self.cluster,
+                                a,
+                            },
+                        );
                     }
                 }
                 _ => unreachable!("phases only"),
@@ -689,15 +725,18 @@ impl Protocol for Partition1Node {
         }
 
         // ——— phase up window ———
-        if is_phase(seg) && off >= up_start && !self.up_sent && !self.is_center {
-            if self.up_recv >= self.cluster_children().len() {
-                let (a, b, c) = self.up_acc;
-                out.send(
-                    self.pc_parent.expect("non-center has a center-ward port"),
-                    P1Msg::Up { seg: code, a, b, c },
-                );
-                self.up_sent = true;
-            }
+        if is_phase(seg)
+            && off >= up_start
+            && !self.up_sent
+            && !self.is_center
+            && self.up_recv >= self.cluster_children().len()
+        {
+            let (a, b, c) = self.up_acc;
+            out.send(
+                self.pc_parent.expect("non-center has a center-ward port"),
+                P1Msg::Up { seg: code, a, b, c },
+            );
+            self.up_sent = true;
         }
 
         // ——— segment end: centers consume ———
@@ -727,7 +766,12 @@ pub fn run_partition1(g: &Graph, root: NodeId, k: usize) -> (Vec<Partition1Node>
         .nodes()
         .map(|v| {
             let t_parent = t.parent(v).map(|p| {
-                Port(g.neighbors(v).iter().position(|a| a.to == p).expect("tree edge"))
+                Port(
+                    g.neighbors(v)
+                        .iter()
+                        .position(|a| a.to == p)
+                        .expect("tree edge"),
+                )
             });
             let ports = (0..g.degree(v)).map(Port).collect();
             Partition1Node::new(t_parent, ports, k, g.id_of(v))
@@ -767,15 +811,18 @@ mod tests {
         // connected clusters; Fig. 5 radius bound 4k² (loose)
         check_clusters(g, &cl, 1, 4 * (k as u32) * (k as u32).max(1)).unwrap();
         // size ≥ k+1 (Lemma 3.4) when the tree is big enough
-        if g.node_count() >= k + 1 {
+        if g.node_count() > k {
             let min = clusters.iter().map(|(_, m)| m.len()).min().unwrap();
-            assert!(min >= k + 1, "cluster of {min} < {}", k + 1);
+            assert!(min > k, "cluster of {min} < {}", k + 1);
         }
         // depths consistent with pc_parent pointers
         for v in g.nodes() {
             if let Some(p) = nodes[v.0].pc_parent {
                 let w = g.neighbors(v)[p.0].to;
-                assert_eq!(nodes[w.0].cluster, nodes[v.0].cluster, "{v:?} points inside");
+                assert_eq!(
+                    nodes[w.0].cluster, nodes[v.0].cluster,
+                    "{v:?} points inside"
+                );
                 assert_eq!(nodes[w.0].depth + 1, nodes[v.0].depth, "{v:?} depth chain");
             } else {
                 assert_eq!(nodes[v.0].depth, 0);
@@ -823,4 +870,3 @@ mod tests {
         assert!(large.rounds <= tt.end + 2);
     }
 }
-

@@ -100,7 +100,7 @@ impl TreeDpNode {
                 need = Some(need.map_or(nc + 1, |x| x.max(nc + 1)));
             }
             if let Some(hc) = ch {
-                if hc + 1 <= k {
+                if hc < k {
                     have = Some(have.map_or(hc + 1, |x| x.min(hc + 1)));
                 }
             }
@@ -201,7 +201,12 @@ mod tests {
     fn run(g: &Graph, k: usize) -> (Vec<TreeDpNode>, kdom_congest::RunReport) {
         let t = RootedTree::from_graph(g, NodeId(0));
         let port_to = |v: NodeId, to: NodeId| {
-            Port(g.neighbors(v).iter().position(|a| a.to == to).expect("tree edge"))
+            Port(
+                g.neighbors(v)
+                    .iter()
+                    .position(|a| a.to == to)
+                    .expect("tree edge"),
+            )
         };
         let nodes = (0..g.node_count())
             .map(|v| {
@@ -224,10 +229,8 @@ mod tests {
             for k in [1usize, 2, 4] {
                 let g = random_tree(&GenConfig::with_seed(n, seed));
                 let (nodes, _) = run(&g, k);
-                let dist: Vec<NodeId> = (0..n)
-                    .map(NodeId)
-                    .filter(|v| nodes[v.0].selected)
-                    .collect();
+                let dist: Vec<NodeId> =
+                    (0..n).map(NodeId).filter(|v| nodes[v.0].selected).collect();
                 let t = RootedTree::from_graph(&g, NodeId(0));
                 let seq = min_k_dominating_tree(&t, k);
                 assert_eq!(dist, seq, "n={n} k={k} seed={seed}");
@@ -246,8 +249,8 @@ mod tests {
             check_k_dominating(&g, &d, k).unwrap_or_else(|e| panic!("{fam}: {e}"));
             check_dominating_size(n, k, d.len()).unwrap_or_else(|e| panic!("{fam}: {e}"));
             // every node claimed a dominator that is selected
-            for v in 0..n {
-                assert!(nodes[v].dominator.is_some(), "{fam}: node {v} unclaimed");
+            for (v, node) in nodes.iter().enumerate().take(n) {
+                assert!(node.dominator.is_some(), "{fam}: node {v} unclaimed");
             }
         }
     }
@@ -257,7 +260,11 @@ mod tests {
         let g = Family::Path.generate(200, 5);
         let (_, report) = run(&g, 3);
         // height 199: converge + broadcast + claims ≈ 2h + k + c
-        assert!(report.rounds <= 2 * 200 + 3 + 16, "rounds {}", report.rounds);
+        assert!(
+            report.rounds <= 2 * 200 + 3 + 16,
+            "rounds {}",
+            report.rounds
+        );
     }
 
     #[test]

@@ -113,12 +113,7 @@ fn cluster_tree(
 
 /// Solves the within-cluster problem; returns global dominator ids and a
 /// round charge for the stage (run once, in parallel over all clusters).
-fn solve_cluster(
-    t: &RootedTree,
-    order: &[NodeId],
-    k: usize,
-    solver: WithinCluster,
-) -> Vec<NodeId> {
+fn solve_cluster(t: &RootedTree, order: &[NodeId], k: usize, solver: WithinCluster) -> Vec<NodeId> {
     let locals: Vec<NodeId> = match solver {
         WithinCluster::OptimalDp => min_k_dominating_tree(t, k),
         WithinCluster::DiamDom => {
@@ -170,8 +165,7 @@ fn assemble(
             }
         }
     }
-    let mut fine: Vec<(NodeId, Vec<NodeId>)> =
-        all_doms.iter().map(|&d| (d, Vec::new())).collect();
+    let mut fine: Vec<(NodeId, Vec<NodeId>)> = all_doms.iter().map(|&d| (d, Vec::new())).collect();
     for v in 0..n {
         if cluster_of[v] != usize::MAX {
             fine[cluster_of[v]].1.push(NodeId(v));
@@ -237,7 +231,11 @@ pub fn fast_dom_t_scoped(
     charge.flat(5 * 2 * u64::from(max_rad) + k as u64);
 
     let fine = assemble(n, &part.clusters, &dominators_per_cluster, &tree_adj);
-    ScopedFastDom { fine, coarse: part.clusters, charge }
+    ScopedFastDom {
+        fine,
+        coarse: part.clusters,
+        charge,
+    }
 }
 
 /// `FastDOM_T` (Theorem 3.2): k-dominating set of size ≤ `n/(k+1)` on a
@@ -247,7 +245,10 @@ pub fn fast_dom_t_scoped(
 ///
 /// Panics if `g` is not a tree.
 pub fn fast_dom_t(g: &Graph, k: usize, solver: WithinCluster) -> FastDomResult {
-    assert!(kdom_graph::properties::is_tree(g), "FastDOM_T requires a tree");
+    assert!(
+        kdom_graph::properties::is_tree(g),
+        "FastDOM_T requires a tree"
+    );
     let nodes: Vec<NodeId> = g.nodes().collect();
     let edges: Vec<(NodeId, NodeId)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
     let scoped = fast_dom_t_scoped(g, nodes, &edges, k, solver);
@@ -266,7 +267,8 @@ pub fn fast_dom_t(g: &Graph, k: usize, solver: WithinCluster) -> FastDomResult {
 pub fn fast_dom_g_full(g: &Graph, k: usize, solver: WithinCluster) -> (FastDomResult, Fragments) {
     let fragments = simple_mst_forest(g, k);
     let members = fragments.members();
-    let mut edge_of_fragment: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); fragments.fragment_count()];
+    let mut edge_of_fragment: Vec<Vec<(NodeId, NodeId)>> =
+        vec![Vec::new(); fragments.fragment_count()];
     for &e in &fragments.tree_edges {
         let er = g.edge(e);
         edge_of_fragment[fragments.fragment_of[er.u.0]].push((er.u, er.v));
@@ -297,7 +299,14 @@ pub fn fast_dom_g_full(g: &Graph, k: usize, solver: WithinCluster) -> (FastDomRe
     charge.cv_iterations += max_fragment_charge.cv_iterations;
 
     let clustering = clusters_to_clustering(g.node_count(), &all_clusters);
-    (FastDomResult { clustering, coarse: all_coarse, charge }, fragments)
+    (
+        FastDomResult {
+            clustering,
+            coarse: all_coarse,
+            charge,
+        },
+        fragments,
+    )
 }
 
 /// Convenience wrapper over [`fast_dom_g_full`] with the default solver.
@@ -309,8 +318,8 @@ pub fn fast_dom_g(g: &Graph, k: usize) -> FastDomResult {
 mod tests {
     use super::*;
     use crate::verify::{check_fastdom_output, check_k_dominating};
-    use kdom_graph::generators::{Family, GenConfig};
     use kdom_graph::generators::{gnp_connected, random_tree};
+    use kdom_graph::generators::{Family, GenConfig};
 
     #[test]
     fn fastdom_t_meets_theorem_32() {
@@ -377,7 +386,7 @@ mod tests {
         let k = 5;
         let res = fast_dom_g(&g, k);
         for (_, members) in &res.coarse {
-            assert!(members.len() >= k + 1);
+            assert!(members.len() > k);
         }
     }
 

@@ -46,7 +46,11 @@ pub fn level_set(t: &RootedTree, k: usize, l: usize) -> Vec<NodeId> {
 /// scans `l = 0..=k`).
 pub fn min_level_choice(t: &RootedTree, k: usize) -> LevelChoice {
     if k as u32 >= t.height() {
-        return LevelChoice { level: None, dominators: vec![t.root()], counts: Vec::new() };
+        return LevelChoice {
+            level: None,
+            dominators: vec![t.root()],
+            counts: Vec::new(),
+        };
     }
     let counts = level_counts(t, k);
     let level = counts
@@ -55,7 +59,11 @@ pub fn min_level_choice(t: &RootedTree, k: usize) -> LevelChoice {
         .min_by_key(|&(_, c)| *c)
         .map(|(l, _)| l)
         .expect("k + 1 ≥ 1 candidate sets");
-    LevelChoice { level: Some(level), dominators: level_set(t, k, level), counts }
+    LevelChoice {
+        level: Some(level),
+        dominators: level_set(t, k, level),
+        counts,
+    }
 }
 
 /// The existence construction of Lemma 2.1 on an arbitrary connected
@@ -236,8 +244,7 @@ mod tests {
                 choice.dominators.push(NodeId(0)); // root completion
             }
             let cl = level_partition(&g, &choice);
-            check_clusters(&g, &cl, 1, k as u32)
-                .unwrap_or_else(|e| panic!("n={n} k={k}: {e}"));
+            check_clusters(&g, &cl, 1, k as u32).unwrap_or_else(|e| panic!("n={n} k={k}: {e}"));
             assert_eq!(cl.cluster_count(), choice.dominators.len());
         }
     }

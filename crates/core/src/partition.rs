@@ -40,7 +40,11 @@ pub struct PartitionResult {
 impl PartitionResult {
     /// Smallest cluster size.
     pub fn min_size(&self) -> usize {
-        self.clusters.iter().map(|(_, m)| m.len()).min().unwrap_or(0)
+        self.clusters
+            .iter()
+            .map(|(_, m)| m.len())
+            .min()
+            .unwrap_or(0)
     }
 
     /// Number of clusters.
@@ -50,13 +54,21 @@ impl PartitionResult {
 }
 
 fn finish(eng: ClusterEngine<'_>, charge: Charge, iterations: u32) -> PartitionResult {
-    let clusters = eng.extract(&[ClusterState::Out, ClusterState::Forest, ClusterState::Waiting]);
+    let clusters = eng.extract(&[
+        ClusterState::Out,
+        ClusterState::Forest,
+        ClusterState::Waiting,
+    ]);
     debug_assert!(eng.covers_scope(&[
         ClusterState::Out,
         ClusterState::Forest,
         ClusterState::Waiting
     ]));
-    PartitionResult { clusters, charge, iterations }
+    PartitionResult {
+        clusters,
+        charge,
+        iterations,
+    }
 }
 
 /// `DOMPartition_1(k)` (Fig. 5): repeated `BalancedDOM` + contraction.
@@ -182,7 +194,7 @@ pub fn dom_partition_2(
         // (3b) remove sufficiently deep clusters (depth probe to k+1)
         charge.flat(2 * (k as u64 + 1) + 1);
         for c in eng.in_state(ClusterState::Forest) {
-            if eng.radius(c) >= k as u32 + 1 {
+            if eng.radius(c) > k as u32 {
                 eng.set_state(c, ClusterState::Out);
             }
         }
@@ -228,7 +240,7 @@ pub fn dom_partition(
     let mut iterations = 0;
     for i in 1..=u64::from(max_iters) {
         let cap = (2u64 << i).min(k as u64) as u32; // min(2·2^i, k)
-        // (3-I) return waiting clusters to the forest
+                                                    // (3-I) return waiting clusters to the forest
         for c in eng.in_state(ClusterState::Waiting) {
             eng.set_state(c, ClusterState::Forest);
         }
@@ -270,7 +282,10 @@ pub fn dom_partition(
                 .neighbor_clusters(c)
                 .into_iter()
                 .filter(|&h| eng.state(h) == ClusterState::Waiting)
-                .find(|&h| eng.shallowest_contact(h, c).is_some_and(|d| d as u64 <= k as u64));
+                .find(|&h| {
+                    eng.shallowest_contact(h, c)
+                        .is_some_and(|d| d as u64 <= k as u64)
+                });
             match host {
                 Some(h) => eng.attach(c, h),
                 None => eng.set_state(c, ClusterState::Small),
@@ -286,7 +301,7 @@ pub fn dom_partition(
         // we charge the one-shot probe)
         charge.flat(2 * u64::from(cap) + 3);
         for c in eng.in_state(ClusterState::Forest) {
-            if eng.radius(c) >= k as u32 + 1 {
+            if eng.radius(c) > k as u32 {
                 eng.set_state(c, ClusterState::Out);
             }
         }
@@ -299,7 +314,7 @@ pub fn dom_partition(
         .into_iter()
         .chain(eng.in_state(ClusterState::Forest))
     {
-        if eng.size(c) >= k + 1 {
+        if eng.size(c) > k {
             eng.set_state(c, ClusterState::Out);
         } else {
             eng.set_state(c, ClusterState::Small);
@@ -312,8 +327,8 @@ pub fn dom_partition(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kdom_graph::generators::{Family, GenConfig};
     use kdom_graph::generators::{broom, caterpillar, path, random_tree};
+    use kdom_graph::generators::{Family, GenConfig};
     use kdom_graph::Graph;
 
     fn scope(g: &Graph) -> (Vec<NodeId>, Vec<(NodeId, NodeId)>) {
@@ -335,9 +350,9 @@ mod tests {
                 assert!(!seen[v.0], "node {v:?} in two clusters");
                 seen[v.0] = true;
             }
-            if n >= k + 1 {
+            if n > k {
                 assert!(
-                    members.len() >= k + 1,
+                    members.len() > k,
                     "cluster of {} nodes < k+1 = {}",
                     members.len(),
                     k + 1
@@ -361,7 +376,12 @@ mod tests {
 
     #[test]
     fn partition2_radius_bound() {
-        for (n, k, seed) in [(50usize, 2usize, 0u64), (100, 3, 1), (200, 5, 2), (150, 10, 3)] {
+        for (n, k, seed) in [
+            (50usize, 2usize, 0u64),
+            (100, 3, 1),
+            (200, 5, 2),
+            (150, 10, 3),
+        ] {
             let g = random_tree(&GenConfig::with_seed(n, seed));
             let (nodes, edges) = scope(&g);
             let res = dom_partition_2(&g, nodes, &edges, k);
@@ -371,7 +391,12 @@ mod tests {
 
     #[test]
     fn partition_full_radius_bound() {
-        for (n, k, seed) in [(50usize, 2usize, 0u64), (100, 3, 1), (200, 5, 2), (300, 10, 3)] {
+        for (n, k, seed) in [
+            (50usize, 2usize, 0u64),
+            (100, 3, 1),
+            (200, 5, 2),
+            (300, 10, 3),
+        ] {
             let g = random_tree(&GenConfig::with_seed(n, seed));
             let (nodes, edges) = scope(&g);
             let res = dom_partition(&g, nodes, &edges, k);

@@ -35,7 +35,13 @@ pub fn min_k_dominating_tree(t: &RootedTree, k: usize) -> Vec<NodeId> {
     let k = k as u32;
     let n = t.len();
     let mut selected = vec![false; n];
-    let mut state = vec![UpState { need: None, have: None }; n];
+    let mut state = vec![
+        UpState {
+            need: None,
+            have: None
+        };
+        n
+    ];
 
     for v in t.post_order() {
         let mut need: Option<u32> = None;
@@ -48,7 +54,7 @@ pub fn min_k_dominating_tree(t: &RootedTree, k: usize) -> Vec<NodeId> {
             if let Some(hc) = s.have {
                 // selected nodes deeper than k below v cannot help anyone
                 // above v, and everything they cover is already cleared
-                if hc + 1 <= k {
+                if hc < k {
                     have = Some(have.map_or(hc + 1, |x| x.min(hc + 1)));
                 }
             }
@@ -105,7 +111,10 @@ mod tests {
             if size >= best {
                 continue;
             }
-            let set: Vec<NodeId> = (0..n).filter(|v| mask & (1 << v) != 0).map(NodeId).collect();
+            let set: Vec<NodeId> = (0..n)
+                .filter(|v| mask & (1 << v) != 0)
+                .map(NodeId)
+                .collect();
             let (dist, _) = nearest_source(g, &set);
             if dist.iter().all(|&d| d as usize <= k) {
                 best = size;

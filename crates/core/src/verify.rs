@@ -78,9 +78,16 @@ impl fmt::Display for VerifyError {
                 write!(f, "dominating set has {size} nodes, bound is {bound}")
             }
             VerifyError::ClusterDisconnected { cluster } => {
-                write!(f, "cluster {cluster} is disconnected in its induced subgraph")
+                write!(
+                    f,
+                    "cluster {cluster} is disconnected in its induced subgraph"
+                )
             }
-            VerifyError::ClusterRadiusExceeded { cluster, radius, bound } => {
+            VerifyError::ClusterRadiusExceeded {
+                cluster,
+                radius,
+                bound,
+            } => {
                 write!(f, "cluster {cluster} has radius {radius}, bound is {bound}")
             }
             VerifyError::ClusterTooSmall { cluster, size, min } => {
@@ -109,7 +116,11 @@ pub fn check_k_dominating(g: &Graph, dominators: &[NodeId], k: usize) -> Result<
     let (dist, _) = nearest_source(g, dominators);
     for v in g.nodes() {
         if u64::from(dist[v.0]) > k as u64 {
-            return Err(VerifyError::NotDominated { node: v, distance: dist[v.0], k });
+            return Err(VerifyError::NotDominated {
+                node: v,
+                distance: dist[v.0],
+                k,
+            });
         }
     }
     Ok(())
@@ -146,16 +157,24 @@ pub fn check_clusters(
     max_radius: u32,
 ) -> Result<(), VerifyError> {
     let sizes = cl.sizes();
-    for c in 0..cl.cluster_count() {
+    for (c, &size) in sizes.iter().enumerate() {
         let r = cl.induced_radius(g, c);
         if r == u32::MAX {
             return Err(VerifyError::ClusterDisconnected { cluster: c });
         }
         if r > max_radius {
-            return Err(VerifyError::ClusterRadiusExceeded { cluster: c, radius: r, bound: max_radius });
+            return Err(VerifyError::ClusterRadiusExceeded {
+                cluster: c,
+                radius: r,
+                bound: max_radius,
+            });
         }
-        if sizes[c] < min_size {
-            return Err(VerifyError::ClusterTooSmall { cluster: c, size: sizes[c], min: min_size });
+        if size < min_size {
+            return Err(VerifyError::ClusterTooSmall {
+                cluster: c,
+                size,
+                min: min_size,
+            });
         }
     }
     Ok(())
@@ -186,7 +205,10 @@ pub fn check_fastdom_output(g: &Graph, cl: &Clustering, k: usize) -> Result<(), 
 pub fn check_balanced_dom(g: &Graph, cl: &Clustering) -> Result<(), VerifyError> {
     let n = g.node_count();
     if cl.cluster_count() > n / 2 {
-        return Err(VerifyError::DominatingSetTooLarge { size: cl.cluster_count(), bound: n / 2 });
+        return Err(VerifyError::DominatingSetTooLarge {
+            size: cl.cluster_count(),
+            bound: n / 2,
+        });
     }
     check_clusters(g, cl, 2, 1)
 }
@@ -259,7 +281,11 @@ mod tests {
         assert!(check_clusters(&g, &cl, 2, 1).is_ok());
         assert!(matches!(
             check_clusters(&g, &cl, 3, 1),
-            Err(VerifyError::ClusterTooSmall { cluster: 0, size: 2, min: 3 })
+            Err(VerifyError::ClusterTooSmall {
+                cluster: 0,
+                size: 2,
+                min: 3
+            })
         ));
         assert!(matches!(
             check_clusters(&g, &cl, 1, 0),

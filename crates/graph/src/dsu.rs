@@ -26,7 +26,11 @@ pub struct Dsu {
 impl Dsu {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Dsu { parent: (0..n).collect(), size: vec![1; n], sets: n }
+        Dsu {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            sets: n,
+        }
     }
 
     /// Number of elements.
@@ -66,7 +70,11 @@ impl Dsu {
         if ra == rb {
             return false;
         }
-        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[small] = big;
         self.size[big] += self.size[small];
         self.sets -= 1;

@@ -5,9 +5,7 @@
 //! Randomized generators are driven by a seed ([`GenConfig::seed`]) so every
 //! experiment is reproducible.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use kdom_rng::StdRng;
 
 use crate::graph::{Graph, GraphBuilder, NodeId};
 
@@ -30,9 +28,9 @@ impl GenConfig {
 /// Draws `m` pairwise-distinct weights in `1..=8m+16`, in random order.
 fn distinct_weights(m: usize, rng: &mut StdRng) -> Vec<u64> {
     let space = 8 * m + 16;
-    let idx = rand::seq::index::sample(rng, space, m);
+    let idx = rng.sample_indices(space, m);
     let mut w: Vec<u64> = idx.into_iter().map(|i| i as u64 + 1).collect();
-    w.shuffle(rng);
+    rng.shuffle(&mut w);
     w
 }
 
@@ -137,9 +135,7 @@ pub fn balanced_tree(cfg: &GenConfig, arity: usize) -> Graph {
 pub fn random_tree(cfg: &GenConfig) -> Graph {
     assert!(cfg.n > 0);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let edges: Vec<_> = (1..cfg.n)
-        .map(|i| (rng.random_range(0..i), i))
-        .collect();
+    let edges: Vec<_> = (1..cfg.n).map(|i| (rng.random_range(0..i), i)).collect();
     assemble(cfg.n, &edges, &mut rng)
 }
 
@@ -211,7 +207,7 @@ pub fn gnp_connected(cfg: &GenConfig, p: f64) -> Graph {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     // Random-permutation recursive-tree skeleton keeps the graph connected.
     let mut perm: Vec<usize> = (0..cfg.n).collect();
-    perm.shuffle(&mut rng);
+    rng.shuffle(&mut perm);
     let mut present = vec![vec![false; cfg.n]; cfg.n];
     let mut edges = Vec::new();
     for i in 1..cfg.n {
@@ -221,9 +217,9 @@ pub fn gnp_connected(cfg: &GenConfig, p: f64) -> Graph {
         present[b][a] = true;
         edges.push((a, b));
     }
-    for u in 0..cfg.n {
-        for v in u + 1..cfg.n {
-            if !present[u][v] && rng.random_bool(p) {
+    for (u, row) in present.iter().enumerate() {
+        for (v, &p_uv) in row.iter().enumerate().skip(u + 1) {
+            if !p_uv && rng.random_bool(p) {
                 edges.push((u, v));
             }
         }
@@ -241,10 +237,13 @@ pub fn random_connected(cfg: &GenConfig, m: usize) -> Graph {
     let n = cfg.n;
     assert!(n > 0);
     let max_m = n * (n - 1) / 2;
-    assert!(m + 1 >= n && m <= max_m, "m out of range for connected graph");
+    assert!(
+        m + 1 >= n && m <= max_m,
+        "m out of range for connected graph"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut perm: Vec<usize> = (0..n).collect();
-    perm.shuffle(&mut rng);
+    rng.shuffle(&mut perm);
     let mut present = std::collections::HashSet::new();
     let mut edges = Vec::new();
     for i in 1..n {
@@ -273,7 +272,7 @@ pub fn random_connected(cfg: &GenConfig, m: usize) -> Graph {
 ///
 /// Panics if `d == 0` or `d > 20`.
 pub fn hypercube(d: u32, seed: u64) -> Graph {
-    assert!(d >= 1 && d <= 20);
+    assert!((1..=20).contains(&d));
     let n = 1usize << d;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut edges = Vec::new();
@@ -324,7 +323,7 @@ pub fn expanderish(cfg: &GenConfig, d: usize) -> Graph {
         let mut edges = Vec::new();
         for _ in 0..d {
             let mut perm: Vec<usize> = (0..cfg.n).collect();
-            perm.shuffle(&mut rng);
+            rng.shuffle(&mut perm);
             for i in 0..cfg.n {
                 let (a, b) = (perm[i], perm[(i + 1) % cfg.n]);
                 if a != b && present.insert((a.min(b), a.max(b))) {

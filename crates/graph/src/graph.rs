@@ -186,7 +186,9 @@ impl Graph {
 
     /// Total weight of the edges whose ids are in `set`.
     pub fn total_weight<I: IntoIterator<Item = EdgeId>>(&self, set: I) -> u128 {
-        set.into_iter().map(|e| u128::from(self.edges[e.0].weight)).sum()
+        set.into_iter()
+            .map(|e| u128::from(self.edges[e.0].weight))
+            .sum()
     }
 
     /// The edge connecting `u` and `v`, if any.
@@ -220,7 +222,11 @@ impl GraphBuilder {
     /// Starts a graph with `n` isolated nodes whose identifiers default to
     /// their indices.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new(), ids: None }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            ids: None,
+        }
     }
 
     /// Overrides the application-level node identifiers.
@@ -270,9 +276,22 @@ impl GraphBuilder {
                 !adj[u.0].iter().any(|a| a.to == v),
                 "parallel edge {u:?}-{v:?}"
             );
-            adj[u.0].push(Arc { to: v, weight: w, edge: id });
-            adj[v.0].push(Arc { to: u, weight: w, edge: id });
-            edges.push(EdgeRef { id, u, v, weight: w });
+            adj[u.0].push(Arc {
+                to: v,
+                weight: w,
+                edge: id,
+            });
+            adj[v.0].push(Arc {
+                to: u,
+                weight: w,
+                edge: id,
+            });
+            edges.push(EdgeRef {
+                id,
+                u,
+                v,
+                weight: w,
+            });
         }
         let ids = self
             .ids

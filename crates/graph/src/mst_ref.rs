@@ -167,7 +167,7 @@ mod tests {
         let ids: Vec<EdgeId> = g.edges().iter().map(|e| e.id).collect();
         assert!(!is_spanning_tree(&g, &ids[..2])); // too few
         assert!(!is_spanning_tree(&g, &ids)); // too many
-        // 3 edges forming a cycle + isolated node:
+                                              // 3 edges forming a cycle + isolated node:
         assert!(!is_spanning_tree(&g, &[ids[0], ids[1], ids[4]]));
     }
 

@@ -79,7 +79,9 @@ pub fn is_connected(g: &Graph) -> bool {
     if g.node_count() == 0 {
         return true;
     }
-    bfs_distances(g, NodeId(0)).iter().all(|&d| d != UNREACHABLE)
+    bfs_distances(g, NodeId(0))
+        .iter()
+        .all(|&d| d != UNREACHABLE)
 }
 
 /// Whether the graph is a tree (connected, `m = n - 1`).

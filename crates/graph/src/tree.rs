@@ -69,7 +69,13 @@ impl RootedTree {
             }
         }
         assert_eq!(bfs_order.len(), n, "parent array does not span all nodes");
-        RootedTree { root, parent, children, depth, bfs_order }
+        RootedTree {
+            root,
+            parent,
+            children,
+            depth,
+            bfs_order,
+        }
     }
 
     /// The root node.
@@ -144,7 +150,10 @@ impl RootedTree {
 
     /// All leaves of the tree.
     pub fn leaves(&self) -> Vec<NodeId> {
-        (0..self.len()).map(NodeId).filter(|&v| self.is_leaf(v)).collect()
+        (0..self.len())
+            .map(NodeId)
+            .filter(|&v| self.is_leaf(v))
+            .collect()
     }
 
     /// The path from `v` up to the root, inclusive of both.
@@ -224,7 +233,10 @@ mod tests {
     #[test]
     fn path_to_root() {
         let t = sample();
-        assert_eq!(t.path_to_root(NodeId(4)), vec![NodeId(4), NodeId(1), NodeId(0)]);
+        assert_eq!(
+            t.path_to_root(NodeId(4)),
+            vec![NodeId(4), NodeId(1), NodeId(0)]
+        );
         assert_eq!(t.path_to_root(NodeId(0)), vec![NodeId(0)]);
     }
 

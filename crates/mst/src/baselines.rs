@@ -79,8 +79,8 @@ pub fn pipeline_only_mst(g: &Graph) -> BaselineRun {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kdom_graph::generators::{Family, GenConfig};
     use kdom_graph::generators::gnp_connected;
+    use kdom_graph::generators::{Family, GenConfig};
     use kdom_graph::mst_ref::is_mst;
 
     #[test]

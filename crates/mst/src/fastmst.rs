@@ -209,7 +209,10 @@ mod tests {
         let plain = fast_mst(&g);
         let elected = fast_mst_elected(&g);
         assert!(is_mst(&g, &elected.mst_edges));
-        assert!(elected.bfs_rounds > plain.bfs_rounds, "election rounds included");
+        assert!(
+            elected.bfs_rounds > plain.bfs_rounds,
+            "election rounds included"
+        );
         assert!(elected.bfs_rounds <= plain.bfs_rounds + 3 * 100);
     }
 
@@ -219,7 +222,10 @@ mod tests {
         let run = fast_mst(&g);
         assert_eq!(
             run.total_rounds(),
-            run.fragment_rounds + run.partition_charge.rounds + run.bfs_rounds + run.pipeline_rounds
+            run.fragment_rounds
+                + run.partition_charge.rounds
+                + run.bfs_rounds
+                + run.pipeline_rounds
         );
         assert!(run.fragment_rounds > 0 && run.bfs_rounds > 0 && run.pipeline_rounds > 0);
     }

@@ -390,7 +390,8 @@ pub fn run_pipeline(
         .collect();
     // the barrier ablation serializes subtrees and can take Θ(n²) rounds
     let n64 = g.node_count() as u64;
-    let budget = 40 * (n64 + g.edge_count() as u64) + 1000 + if barrier { 4 * n64 * n64 } else { 0 };
+    let budget =
+        40 * (n64 + g.edge_count() as u64) + 1000 + if barrier { 4 * n64 * n64 } else { 0 };
     let (nodes, report) = kdom_congest::run_protocol(g, nodes, budget).expect("pipeline quiesces");
     let root_node = &nodes[root.0];
     PipelineRun {
@@ -406,8 +407,8 @@ pub fn run_pipeline(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kdom_graph::generators::{Family, GenConfig};
     use kdom_graph::generators::gnp_connected;
+    use kdom_graph::generators::{Family, GenConfig};
     use kdom_graph::mst_ref::kruskal;
     use kdom_graph::properties::diameter;
 

@@ -37,17 +37,26 @@ fn main() {
     let fast = fast_mst(&g);
     assert!(is_mst(&g, &fast.mst_edges), "Fast-MST output verified");
     println!("Fast-MST (k = {}):", fast.k);
-    println!("  SimpleMST fragments   {:>8} rounds (measured)", fast.fragment_rounds);
+    println!(
+        "  SimpleMST fragments   {:>8} rounds (measured)",
+        fast.fragment_rounds
+    );
     println!(
         "  DOMPartition          {:>8} rounds (charged; {} clusters)",
         fast.partition_charge.rounds, fast.cluster_count
     );
-    println!("  BFS tree              {:>8} rounds (measured)", fast.bfs_rounds);
+    println!(
+        "  BFS tree              {:>8} rounds (measured)",
+        fast.bfs_rounds
+    );
     println!(
         "  Pipeline              {:>8} rounds (measured; {} stalls)",
         fast.pipeline_rounds, fast.stalls
     );
-    println!("  total                 {:>8} rounds\n", fast.total_rounds());
+    println!(
+        "  total                 {:>8} rounds\n",
+        fast.total_rounds()
+    );
 
     let pd = phase_doubling_mst(&g);
     assert!(is_mst(&g, &pd.mst_edges));

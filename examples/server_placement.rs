@@ -26,7 +26,10 @@ fn main() {
         g.edge_count(),
         diameter(&g)
     );
-    println!("{:>3}  {:>8}  {:>6}  {:>12}  {:>14}", "k", "servers", "bound", "worst client", "charged rounds");
+    println!(
+        "{:>3}  {:>8}  {:>6}  {:>12}  {:>14}",
+        "k", "servers", "bound", "worst client", "charged rounds"
+    );
 
     for k in 1..=8usize {
         let placement = fast_dom_g(&g, k);

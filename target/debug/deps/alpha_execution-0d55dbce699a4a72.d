@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alpha_execution-0d55dbce699a4a72.d: tests/alpha_execution.rs
+
+/root/repo/target/debug/deps/libalpha_execution-0d55dbce699a4a72.rmeta: tests/alpha_execution.rs
+
+tests/alpha_execution.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alpha_execution-83158bf843de7406.d: tests/alpha_execution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalpha_execution-83158bf843de7406.rmeta: tests/alpha_execution.rs Cargo.toml
+
+tests/alpha_execution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alpha_execution-c514592ac98f4800.d: tests/alpha_execution.rs
+
+/root/repo/target/debug/deps/alpha_execution-c514592ac98f4800: tests/alpha_execution.rs
+
+tests/alpha_execution.rs:

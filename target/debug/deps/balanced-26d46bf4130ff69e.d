@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/balanced-26d46bf4130ff69e.d: crates/bench/benches/balanced.rs
+
+/root/repo/target/debug/deps/libbalanced-26d46bf4130ff69e.rmeta: crates/bench/benches/balanced.rs
+
+crates/bench/benches/balanced.rs:

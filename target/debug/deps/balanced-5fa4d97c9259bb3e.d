@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/balanced-5fa4d97c9259bb3e.d: crates/bench/benches/balanced.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbalanced-5fa4d97c9259bb3e.rmeta: crates/bench/benches/balanced.rs Cargo.toml
+
+crates/bench/benches/balanced.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

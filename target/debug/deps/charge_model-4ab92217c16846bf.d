@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/charge_model-4ab92217c16846bf.d: tests/charge_model.rs
+
+/root/repo/target/debug/deps/libcharge_model-4ab92217c16846bf.rmeta: tests/charge_model.rs
+
+tests/charge_model.rs:

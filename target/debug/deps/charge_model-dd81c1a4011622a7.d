@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/charge_model-dd81c1a4011622a7.d: tests/charge_model.rs
+
+/root/repo/target/debug/deps/charge_model-dd81c1a4011622a7: tests/charge_model.rs
+
+tests/charge_model.rs:

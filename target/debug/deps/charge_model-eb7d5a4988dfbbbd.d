@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/charge_model-eb7d5a4988dfbbbd.d: tests/charge_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharge_model-eb7d5a4988dfbbbd.rmeta: tests/charge_model.rs Cargo.toml
+
+tests/charge_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_treedp-0b45753bfac362ab.d: tests/dbg_treedp.rs
+
+/root/repo/target/debug/deps/dbg_treedp-0b45753bfac362ab: tests/dbg_treedp.rs
+
+tests/dbg_treedp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diamdom-3b88585b3b7c042a.d: crates/bench/benches/diamdom.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiamdom-3b88585b3b7c042a.rmeta: crates/bench/benches/diamdom.rs Cargo.toml
+
+crates/bench/benches/diamdom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

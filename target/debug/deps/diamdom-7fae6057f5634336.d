@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diamdom-7fae6057f5634336.d: crates/bench/benches/diamdom.rs
+
+/root/repo/target/debug/deps/libdiamdom-7fae6057f5634336.rmeta: crates/bench/benches/diamdom.rs
+
+crates/bench/benches/diamdom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-4d875f2a15334bae.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/libedge_cases-4d875f2a15334bae.rmeta: tests/edge_cases.rs
+
+tests/edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-73a2a5481423deea.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-73a2a5481423deea: tests/edge_cases.rs
+
+tests/edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-6e28e364f87a445d.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-6e28e364f87a445d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

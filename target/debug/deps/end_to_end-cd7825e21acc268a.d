@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-cd7825e21acc268a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-cd7825e21acc268a.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-33f0a1e2c6b705e7.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-33f0a1e2c6b705e7: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-3f387cb2afd75472.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-3f387cb2afd75472.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-48a1b5c858eaa6ab.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-48a1b5c858eaa6ab.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

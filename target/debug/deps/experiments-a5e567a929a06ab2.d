@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-a5e567a929a06ab2.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-a5e567a929a06ab2: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

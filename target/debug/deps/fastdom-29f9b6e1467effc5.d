@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastdom-29f9b6e1467effc5.d: crates/bench/benches/fastdom.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastdom-29f9b6e1467effc5.rmeta: crates/bench/benches/fastdom.rs Cargo.toml
+
+crates/bench/benches/fastdom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

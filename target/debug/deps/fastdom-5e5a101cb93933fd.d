@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastdom-5e5a101cb93933fd.d: crates/bench/benches/fastdom.rs
+
+/root/repo/target/debug/deps/libfastdom-5e5a101cb93933fd.rmeta: crates/bench/benches/fastdom.rs
+
+crates/bench/benches/fastdom.rs:

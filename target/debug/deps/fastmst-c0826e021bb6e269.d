@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastmst-c0826e021bb6e269.d: crates/bench/benches/fastmst.rs
+
+/root/repo/target/debug/deps/libfastmst-c0826e021bb6e269.rmeta: crates/bench/benches/fastmst.rs
+
+crates/bench/benches/fastmst.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastmst-f917e7d397be9916.d: crates/bench/benches/fastmst.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastmst-f917e7d397be9916.rmeta: crates/bench/benches/fastmst.rs Cargo.toml
+
+crates/bench/benches/fastmst.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_recovery-be7d90fdc3497e4e.d: tests/fault_recovery.rs
+
+/root/repo/target/debug/deps/fault_recovery-be7d90fdc3497e4e: tests/fault_recovery.rs
+
+tests/fault_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_recovery-f86e39d99002667b.d: tests/fault_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_recovery-f86e39d99002667b.rmeta: tests/fault_recovery.rs Cargo.toml
+
+tests/fault_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

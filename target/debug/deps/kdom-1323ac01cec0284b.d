@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kdom-1323ac01cec0284b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libkdom-1323ac01cec0284b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libkdom-1323ac01cec0284b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kdom-91f74f9c07e66125.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkdom-91f74f9c07e66125.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kdom-9d40f9b494252bcb.d: src/lib.rs
+
+/root/repo/target/debug/deps/libkdom-9d40f9b494252bcb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kdom-b06fcf2b724a1e93.d: src/lib.rs
+
+/root/repo/target/debug/deps/kdom-b06fcf2b724a1e93: src/lib.rs
+
+src/lib.rs:

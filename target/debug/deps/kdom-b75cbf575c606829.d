@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kdom-b75cbf575c606829.d: src/lib.rs
+
+/root/repo/target/debug/deps/libkdom-b75cbf575c606829.rmeta: src/lib.rs
+
+src/lib.rs:

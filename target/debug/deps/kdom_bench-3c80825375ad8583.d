@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/kdom_bench-3c80825375ad8583.d: crates/bench/src/lib.rs crates/bench/src/exps.rs crates/bench/src/harness.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkdom_bench-3c80825375ad8583.rmeta: crates/bench/src/lib.rs crates/bench/src/exps.rs crates/bench/src/harness.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/exps.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/kdom_bench-de53ae73db73ddfd.d: crates/bench/src/lib.rs crates/bench/src/exps.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libkdom_bench-de53ae73db73ddfd.rmeta: crates/bench/src/lib.rs crates/bench/src/exps.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exps.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/table.rs:

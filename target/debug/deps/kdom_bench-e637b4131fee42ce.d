@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/kdom_bench-e637b4131fee42ce.d: crates/bench/src/lib.rs crates/bench/src/exps.rs crates/bench/src/harness.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkdom_bench-e637b4131fee42ce.rmeta: crates/bench/src/lib.rs crates/bench/src/exps.rs crates/bench/src/harness.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/exps.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/kdom_congest-5b6509e73d653b05.d: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
+
+/root/repo/target/debug/deps/libkdom_congest-5b6509e73d653b05.rmeta: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
+
+crates/congest/src/lib.rs:
+crates/congest/src/alpha.rs:
+crates/congest/src/faults.rs:
+crates/congest/src/reliable.rs:
+crates/congest/src/report.rs:
+crates/congest/src/sim.rs:

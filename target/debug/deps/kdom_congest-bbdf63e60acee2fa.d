@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/kdom_congest-bbdf63e60acee2fa.d: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
+
+/root/repo/target/debug/deps/libkdom_congest-bbdf63e60acee2fa.rmeta: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
+
+crates/congest/src/lib.rs:
+crates/congest/src/alpha.rs:
+crates/congest/src/faults.rs:
+crates/congest/src/reliable.rs:
+crates/congest/src/report.rs:
+crates/congest/src/sim.rs:

@@ -1,0 +1,30 @@
+/root/repo/target/debug/deps/kdom_core-70f7f475d9694638.d: crates/core/src/lib.rs crates/core/src/balanced.rs crates/core/src/cluster.rs crates/core/src/clustering.rs crates/core/src/coloring.rs crates/core/src/fastdom.rs crates/core/src/fragments.rs crates/core/src/levels.rs crates/core/src/logstar.rs crates/core/src/partition.rs crates/core/src/treedp.rs crates/core/src/verify.rs crates/core/src/dist/mod.rs crates/core/src/dist/bfs.rs crates/core/src/dist/coloring.rs crates/core/src/dist/diamdom.rs crates/core/src/dist/election.rs crates/core/src/dist/executor.rs crates/core/src/dist/fastdom.rs crates/core/src/dist/fragments.rs crates/core/src/dist/partition1.rs crates/core/src/dist/treedp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkdom_core-70f7f475d9694638.rmeta: crates/core/src/lib.rs crates/core/src/balanced.rs crates/core/src/cluster.rs crates/core/src/clustering.rs crates/core/src/coloring.rs crates/core/src/fastdom.rs crates/core/src/fragments.rs crates/core/src/levels.rs crates/core/src/logstar.rs crates/core/src/partition.rs crates/core/src/treedp.rs crates/core/src/verify.rs crates/core/src/dist/mod.rs crates/core/src/dist/bfs.rs crates/core/src/dist/coloring.rs crates/core/src/dist/diamdom.rs crates/core/src/dist/election.rs crates/core/src/dist/executor.rs crates/core/src/dist/fastdom.rs crates/core/src/dist/fragments.rs crates/core/src/dist/partition1.rs crates/core/src/dist/treedp.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/balanced.rs:
+crates/core/src/cluster.rs:
+crates/core/src/clustering.rs:
+crates/core/src/coloring.rs:
+crates/core/src/fastdom.rs:
+crates/core/src/fragments.rs:
+crates/core/src/levels.rs:
+crates/core/src/logstar.rs:
+crates/core/src/partition.rs:
+crates/core/src/treedp.rs:
+crates/core/src/verify.rs:
+crates/core/src/dist/mod.rs:
+crates/core/src/dist/bfs.rs:
+crates/core/src/dist/coloring.rs:
+crates/core/src/dist/diamdom.rs:
+crates/core/src/dist/election.rs:
+crates/core/src/dist/executor.rs:
+crates/core/src/dist/fastdom.rs:
+crates/core/src/dist/fragments.rs:
+crates/core/src/dist/partition1.rs:
+crates/core/src/dist/treedp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

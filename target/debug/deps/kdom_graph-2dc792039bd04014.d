@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/kdom_graph-2dc792039bd04014.d: crates/graph/src/lib.rs crates/graph/src/dsu.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/mst_ref.rs crates/graph/src/properties.rs crates/graph/src/tree.rs
+
+/root/repo/target/debug/deps/libkdom_graph-2dc792039bd04014.rlib: crates/graph/src/lib.rs crates/graph/src/dsu.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/mst_ref.rs crates/graph/src/properties.rs crates/graph/src/tree.rs
+
+/root/repo/target/debug/deps/libkdom_graph-2dc792039bd04014.rmeta: crates/graph/src/lib.rs crates/graph/src/dsu.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/mst_ref.rs crates/graph/src/properties.rs crates/graph/src/tree.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/dsu.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/mst_ref.rs:
+crates/graph/src/properties.rs:
+crates/graph/src/tree.rs:

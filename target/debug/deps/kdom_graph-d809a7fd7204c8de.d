@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/kdom_graph-d809a7fd7204c8de.d: crates/graph/src/lib.rs crates/graph/src/dsu.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/mst_ref.rs crates/graph/src/properties.rs crates/graph/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkdom_graph-d809a7fd7204c8de.rmeta: crates/graph/src/lib.rs crates/graph/src/dsu.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/mst_ref.rs crates/graph/src/properties.rs crates/graph/src/tree.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/dsu.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/mst_ref.rs:
+crates/graph/src/properties.rs:
+crates/graph/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/kdom_graph-fcb8698638bb2486.d: crates/graph/src/lib.rs crates/graph/src/dsu.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/mst_ref.rs crates/graph/src/properties.rs crates/graph/src/tree.rs
+
+/root/repo/target/debug/deps/libkdom_graph-fcb8698638bb2486.rmeta: crates/graph/src/lib.rs crates/graph/src/dsu.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/mst_ref.rs crates/graph/src/properties.rs crates/graph/src/tree.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/dsu.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/mst_ref.rs:
+crates/graph/src/properties.rs:
+crates/graph/src/tree.rs:

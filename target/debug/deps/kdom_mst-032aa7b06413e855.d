@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/kdom_mst-032aa7b06413e855.d: crates/mst/src/lib.rs crates/mst/src/baselines.rs crates/mst/src/fastmst.rs crates/mst/src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkdom_mst-032aa7b06413e855.rmeta: crates/mst/src/lib.rs crates/mst/src/baselines.rs crates/mst/src/fastmst.rs crates/mst/src/pipeline.rs Cargo.toml
+
+crates/mst/src/lib.rs:
+crates/mst/src/baselines.rs:
+crates/mst/src/fastmst.rs:
+crates/mst/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

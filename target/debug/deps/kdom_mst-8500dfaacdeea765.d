@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/kdom_mst-8500dfaacdeea765.d: crates/mst/src/lib.rs crates/mst/src/baselines.rs crates/mst/src/fastmst.rs crates/mst/src/pipeline.rs
+
+/root/repo/target/debug/deps/kdom_mst-8500dfaacdeea765: crates/mst/src/lib.rs crates/mst/src/baselines.rs crates/mst/src/fastmst.rs crates/mst/src/pipeline.rs
+
+crates/mst/src/lib.rs:
+crates/mst/src/baselines.rs:
+crates/mst/src/fastmst.rs:
+crates/mst/src/pipeline.rs:

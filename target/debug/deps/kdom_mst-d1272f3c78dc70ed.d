@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/kdom_mst-d1272f3c78dc70ed.d: crates/mst/src/lib.rs crates/mst/src/baselines.rs crates/mst/src/fastmst.rs crates/mst/src/pipeline.rs
+
+/root/repo/target/debug/deps/libkdom_mst-d1272f3c78dc70ed.rmeta: crates/mst/src/lib.rs crates/mst/src/baselines.rs crates/mst/src/fastmst.rs crates/mst/src/pipeline.rs
+
+crates/mst/src/lib.rs:
+crates/mst/src/baselines.rs:
+crates/mst/src/fastmst.rs:
+crates/mst/src/pipeline.rs:

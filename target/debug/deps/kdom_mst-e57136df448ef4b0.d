@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/kdom_mst-e57136df448ef4b0.d: crates/mst/src/lib.rs crates/mst/src/baselines.rs crates/mst/src/fastmst.rs crates/mst/src/pipeline.rs
+
+/root/repo/target/debug/deps/libkdom_mst-e57136df448ef4b0.rlib: crates/mst/src/lib.rs crates/mst/src/baselines.rs crates/mst/src/fastmst.rs crates/mst/src/pipeline.rs
+
+/root/repo/target/debug/deps/libkdom_mst-e57136df448ef4b0.rmeta: crates/mst/src/lib.rs crates/mst/src/baselines.rs crates/mst/src/fastmst.rs crates/mst/src/pipeline.rs
+
+crates/mst/src/lib.rs:
+crates/mst/src/baselines.rs:
+crates/mst/src/fastmst.rs:
+crates/mst/src/pipeline.rs:

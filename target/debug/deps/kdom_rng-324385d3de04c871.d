@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kdom_rng-324385d3de04c871.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libkdom_rng-324385d3de04c871.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kdom_rng-3adc8f77b91b3a51.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/kdom_rng-3adc8f77b91b3a51: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kdom_rng-5730aaf67e154b16.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libkdom_rng-5730aaf67e154b16.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

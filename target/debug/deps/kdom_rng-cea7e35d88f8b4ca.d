@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kdom_rng-cea7e35d88f8b4ca.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkdom_rng-cea7e35d88f8b4ca.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kdom_rng-e611fa8f4c0c16ea.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libkdom_rng-e611fa8f4c0c16ea.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libkdom_rng-e611fa8f4c0c16ea.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

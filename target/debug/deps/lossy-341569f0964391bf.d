@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lossy-341569f0964391bf.d: crates/bench/benches/lossy.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblossy-341569f0964391bf.rmeta: crates/bench/benches/lossy.rs Cargo.toml
+
+crates/bench/benches/lossy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

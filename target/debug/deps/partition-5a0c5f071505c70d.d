@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/partition-5a0c5f071505c70d.d: crates/bench/benches/partition.rs
+
+/root/repo/target/debug/deps/libpartition-5a0c5f071505c70d.rmeta: crates/bench/benches/partition.rs
+
+crates/bench/benches/partition.rs:

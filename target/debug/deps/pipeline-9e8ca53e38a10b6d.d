@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-9e8ca53e38a10b6d.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/debug/deps/libpipeline-9e8ca53e38a10b6d.rmeta: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

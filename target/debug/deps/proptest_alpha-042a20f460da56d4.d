@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_alpha-042a20f460da56d4.d: tests/proptest_alpha.rs
+
+/root/repo/target/debug/deps/libproptest_alpha-042a20f460da56d4.rmeta: tests/proptest_alpha.rs
+
+tests/proptest_alpha.rs:

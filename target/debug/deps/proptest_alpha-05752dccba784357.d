@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_alpha-05752dccba784357.d: tests/proptest_alpha.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_alpha-05752dccba784357.rmeta: tests/proptest_alpha.rs Cargo.toml
+
+tests/proptest_alpha.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

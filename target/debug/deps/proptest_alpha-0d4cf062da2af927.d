@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_alpha-0d4cf062da2af927.d: tests/proptest_alpha.rs
+
+/root/repo/target/debug/deps/proptest_alpha-0d4cf062da2af927: tests/proptest_alpha.rs
+
+tests/proptest_alpha.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_domination-02a15c589a5b5ac3.d: tests/proptest_domination.rs
+
+/root/repo/target/debug/deps/proptest_domination-02a15c589a5b5ac3: tests/proptest_domination.rs
+
+tests/proptest_domination.rs:

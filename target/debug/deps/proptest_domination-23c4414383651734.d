@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_domination-23c4414383651734.d: tests/proptest_domination.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_domination-23c4414383651734.rmeta: tests/proptest_domination.rs Cargo.toml
+
+tests/proptest_domination.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_domination-98a2f665e12432f9.d: tests/proptest_domination.rs
+
+/root/repo/target/debug/deps/libproptest_domination-98a2f665e12432f9.rmeta: tests/proptest_domination.rs
+
+tests/proptest_domination.rs:

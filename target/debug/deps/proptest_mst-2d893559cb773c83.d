@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_mst-2d893559cb773c83.d: tests/proptest_mst.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_mst-2d893559cb773c83.rmeta: tests/proptest_mst.rs Cargo.toml
+
+tests/proptest_mst.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

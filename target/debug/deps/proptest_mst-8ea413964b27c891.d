@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_mst-8ea413964b27c891.d: tests/proptest_mst.rs
+
+/root/repo/target/debug/deps/proptest_mst-8ea413964b27c891: tests/proptest_mst.rs
+
+tests/proptest_mst.rs:

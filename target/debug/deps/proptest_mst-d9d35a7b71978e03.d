@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_mst-d9d35a7b71978e03.d: tests/proptest_mst.rs
+
+/root/repo/target/debug/deps/libproptest_mst-d9d35a7b71978e03.rmeta: tests/proptest_mst.rs
+
+tests/proptest_mst.rs:

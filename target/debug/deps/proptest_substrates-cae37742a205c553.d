@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_substrates-cae37742a205c553.d: tests/proptest_substrates.rs
+
+/root/repo/target/debug/deps/libproptest_substrates-cae37742a205c553.rmeta: tests/proptest_substrates.rs
+
+tests/proptest_substrates.rs:

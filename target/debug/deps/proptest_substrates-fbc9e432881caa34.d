@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_substrates-fbc9e432881caa34.d: tests/proptest_substrates.rs
+
+/root/repo/target/debug/deps/proptest_substrates-fbc9e432881caa34: tests/proptest_substrates.rs
+
+tests/proptest_substrates.rs:

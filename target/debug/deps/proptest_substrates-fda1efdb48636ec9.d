@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_substrates-fda1efdb48636ec9.d: tests/proptest_substrates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_substrates-fda1efdb48636ec9.rmeta: tests/proptest_substrates.rs Cargo.toml
+
+tests/proptest_substrates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

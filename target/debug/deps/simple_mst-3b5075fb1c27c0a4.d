@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simple_mst-3b5075fb1c27c0a4.d: crates/bench/benches/simple_mst.rs
+
+/root/repo/target/debug/deps/libsimple_mst-3b5075fb1c27c0a4.rmeta: crates/bench/benches/simple_mst.rs
+
+crates/bench/benches/simple_mst.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simple_mst-59fc490c0fb38858.d: crates/bench/benches/simple_mst.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimple_mst-59fc490c0fb38858.rmeta: crates/bench/benches/simple_mst.rs Cargo.toml
+
+crates/bench/benches/simple_mst.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

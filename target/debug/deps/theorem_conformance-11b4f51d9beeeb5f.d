@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem_conformance-11b4f51d9beeeb5f.d: tests/theorem_conformance.rs
+
+/root/repo/target/debug/deps/theorem_conformance-11b4f51d9beeeb5f: tests/theorem_conformance.rs
+
+tests/theorem_conformance.rs:

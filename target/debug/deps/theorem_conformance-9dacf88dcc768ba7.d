@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem_conformance-9dacf88dcc768ba7.d: tests/theorem_conformance.rs
+
+/root/repo/target/debug/deps/libtheorem_conformance-9dacf88dcc768ba7.rmeta: tests/theorem_conformance.rs
+
+tests/theorem_conformance.rs:

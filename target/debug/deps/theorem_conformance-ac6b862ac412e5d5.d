@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorem_conformance-ac6b862ac412e5d5.d: tests/theorem_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorem_conformance-ac6b862ac412e5d5.rmeta: tests/theorem_conformance.rs Cargo.toml
+
+tests/theorem_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/asynchronous-09a5a8305904fe05.d: examples/asynchronous.rs
+
+/root/repo/target/debug/examples/libasynchronous-09a5a8305904fe05.rmeta: examples/asynchronous.rs
+
+examples/asynchronous.rs:

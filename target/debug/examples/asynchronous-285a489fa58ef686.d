@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/asynchronous-285a489fa58ef686.d: examples/asynchronous.rs Cargo.toml
+
+/root/repo/target/debug/examples/libasynchronous-285a489fa58ef686.rmeta: examples/asynchronous.rs Cargo.toml
+
+examples/asynchronous.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

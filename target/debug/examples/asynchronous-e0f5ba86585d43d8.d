@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/asynchronous-e0f5ba86585d43d8.d: examples/asynchronous.rs
+
+/root/repo/target/debug/examples/asynchronous-e0f5ba86585d43d8: examples/asynchronous.rs
+
+examples/asynchronous.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lossy_recovery-ad4502ae91c3f11b.d: examples/lossy_recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblossy_recovery-ad4502ae91c3f11b.rmeta: examples/lossy_recovery.rs Cargo.toml
+
+examples/lossy_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

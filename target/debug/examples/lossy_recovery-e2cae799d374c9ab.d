@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lossy_recovery-e2cae799d374c9ab.d: examples/lossy_recovery.rs
+
+/root/repo/target/debug/examples/lossy_recovery-e2cae799d374c9ab: examples/lossy_recovery.rs
+
+examples/lossy_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mst_race-7b5a045de6c9fc57.d: examples/mst_race.rs
+
+/root/repo/target/debug/examples/libmst_race-7b5a045de6c9fc57.rmeta: examples/mst_race.rs
+
+examples/mst_race.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mst_race-8517c80645a0f411.d: examples/mst_race.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmst_race-8517c80645a0f411.rmeta: examples/mst_race.rs Cargo.toml
+
+examples/mst_race.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mst_race-c804026e8ae64b6a.d: examples/mst_race.rs
+
+/root/repo/target/debug/examples/mst_race-c804026e8ae64b6a: examples/mst_race.rs
+
+examples/mst_race.rs:

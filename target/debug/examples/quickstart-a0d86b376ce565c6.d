@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a0d86b376ce565c6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-a0d86b376ce565c6.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

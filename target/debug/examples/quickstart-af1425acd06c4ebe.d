@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-af1425acd06c4ebe.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-af1425acd06c4ebe: examples/quickstart.rs
+
+examples/quickstart.rs:

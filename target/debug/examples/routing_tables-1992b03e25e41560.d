@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/routing_tables-1992b03e25e41560.d: examples/routing_tables.rs Cargo.toml
+
+/root/repo/target/debug/examples/librouting_tables-1992b03e25e41560.rmeta: examples/routing_tables.rs Cargo.toml
+
+examples/routing_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

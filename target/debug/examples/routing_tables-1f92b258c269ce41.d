@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/routing_tables-1f92b258c269ce41.d: examples/routing_tables.rs
+
+/root/repo/target/debug/examples/librouting_tables-1f92b258c269ce41.rmeta: examples/routing_tables.rs
+
+examples/routing_tables.rs:

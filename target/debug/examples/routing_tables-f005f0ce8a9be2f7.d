@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/routing_tables-f005f0ce8a9be2f7.d: examples/routing_tables.rs
+
+/root/repo/target/debug/examples/routing_tables-f005f0ce8a9be2f7: examples/routing_tables.rs
+
+examples/routing_tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/server_placement-263eb78914bee6d7.d: examples/server_placement.rs
+
+/root/repo/target/debug/examples/libserver_placement-263eb78914bee6d7.rmeta: examples/server_placement.rs
+
+examples/server_placement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/server_placement-9b6ff625e2d77877.d: examples/server_placement.rs
+
+/root/repo/target/debug/examples/server_placement-9b6ff625e2d77877: examples/server_placement.rs
+
+examples/server_placement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/server_placement-e25e2173cb125c4d.d: examples/server_placement.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserver_placement-e25e2173cb125c4d.rmeta: examples/server_placement.rs Cargo.toml
+
+examples/server_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libkdom_rng.rlib: /root/repo/crates/rng/src/lib.rs

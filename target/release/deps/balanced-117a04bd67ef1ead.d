@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/balanced-117a04bd67ef1ead.d: crates/bench/benches/balanced.rs
+
+/root/repo/target/release/deps/balanced-117a04bd67ef1ead: crates/bench/benches/balanced.rs
+
+crates/bench/benches/balanced.rs:

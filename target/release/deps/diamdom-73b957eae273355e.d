@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/diamdom-73b957eae273355e.d: crates/bench/benches/diamdom.rs
+
+/root/repo/target/release/deps/diamdom-73b957eae273355e: crates/bench/benches/diamdom.rs
+
+crates/bench/benches/diamdom.rs:

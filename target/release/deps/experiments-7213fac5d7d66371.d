@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-7213fac5d7d66371.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-7213fac5d7d66371: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-dde698299216b5ae.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-dde698299216b5ae: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fastdom-f5970f70b739b459.d: crates/bench/benches/fastdom.rs
+
+/root/repo/target/release/deps/fastdom-f5970f70b739b459: crates/bench/benches/fastdom.rs
+
+crates/bench/benches/fastdom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fastmst-cf9e70d5500c67e1.d: crates/bench/benches/fastmst.rs
+
+/root/repo/target/release/deps/fastmst-cf9e70d5500c67e1: crates/bench/benches/fastmst.rs
+
+crates/bench/benches/fastmst.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kdom-35ed8e50da51e1ea.d: src/lib.rs
+
+/root/repo/target/release/deps/libkdom-35ed8e50da51e1ea.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libkdom-35ed8e50da51e1ea.rmeta: src/lib.rs
+
+src/lib.rs:

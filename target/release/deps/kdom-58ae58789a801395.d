@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kdom-58ae58789a801395.d: src/lib.rs
+
+/root/repo/target/release/deps/kdom-58ae58789a801395: src/lib.rs
+
+src/lib.rs:

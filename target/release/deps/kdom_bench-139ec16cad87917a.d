@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/kdom_bench-139ec16cad87917a.d: crates/bench/src/lib.rs crates/bench/src/exps.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/kdom_bench-139ec16cad87917a: crates/bench/src/lib.rs crates/bench/src/exps.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exps.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/table.rs:

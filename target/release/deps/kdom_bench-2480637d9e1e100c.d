@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/kdom_bench-2480637d9e1e100c.d: crates/bench/src/lib.rs crates/bench/src/exps.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libkdom_bench-2480637d9e1e100c.rlib: crates/bench/src/lib.rs crates/bench/src/exps.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libkdom_bench-2480637d9e1e100c.rmeta: crates/bench/src/lib.rs crates/bench/src/exps.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exps.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/table.rs:

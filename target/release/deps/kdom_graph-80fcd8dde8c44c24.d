@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/kdom_graph-80fcd8dde8c44c24.d: crates/graph/src/lib.rs crates/graph/src/dsu.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/mst_ref.rs crates/graph/src/properties.rs crates/graph/src/tree.rs
+
+/root/repo/target/release/deps/libkdom_graph-80fcd8dde8c44c24.rlib: crates/graph/src/lib.rs crates/graph/src/dsu.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/mst_ref.rs crates/graph/src/properties.rs crates/graph/src/tree.rs
+
+/root/repo/target/release/deps/libkdom_graph-80fcd8dde8c44c24.rmeta: crates/graph/src/lib.rs crates/graph/src/dsu.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/mst_ref.rs crates/graph/src/properties.rs crates/graph/src/tree.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/dsu.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/mst_ref.rs:
+crates/graph/src/properties.rs:
+crates/graph/src/tree.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/kdom_graph-95f3055365b6a38b.d: crates/graph/src/lib.rs crates/graph/src/dsu.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/mst_ref.rs crates/graph/src/properties.rs crates/graph/src/tree.rs
+
+/root/repo/target/release/deps/kdom_graph-95f3055365b6a38b: crates/graph/src/lib.rs crates/graph/src/dsu.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/mst_ref.rs crates/graph/src/properties.rs crates/graph/src/tree.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/dsu.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/mst_ref.rs:
+crates/graph/src/properties.rs:
+crates/graph/src/tree.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/kdom_mst-b9da84aed7431e57.d: crates/mst/src/lib.rs crates/mst/src/baselines.rs crates/mst/src/fastmst.rs crates/mst/src/pipeline.rs
+
+/root/repo/target/release/deps/libkdom_mst-b9da84aed7431e57.rlib: crates/mst/src/lib.rs crates/mst/src/baselines.rs crates/mst/src/fastmst.rs crates/mst/src/pipeline.rs
+
+/root/repo/target/release/deps/libkdom_mst-b9da84aed7431e57.rmeta: crates/mst/src/lib.rs crates/mst/src/baselines.rs crates/mst/src/fastmst.rs crates/mst/src/pipeline.rs
+
+crates/mst/src/lib.rs:
+crates/mst/src/baselines.rs:
+crates/mst/src/fastmst.rs:
+crates/mst/src/pipeline.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/kdom_mst-be2f5ac429eb0ccc.d: crates/mst/src/lib.rs crates/mst/src/baselines.rs crates/mst/src/fastmst.rs crates/mst/src/pipeline.rs
+
+/root/repo/target/release/deps/kdom_mst-be2f5ac429eb0ccc: crates/mst/src/lib.rs crates/mst/src/baselines.rs crates/mst/src/fastmst.rs crates/mst/src/pipeline.rs
+
+crates/mst/src/lib.rs:
+crates/mst/src/baselines.rs:
+crates/mst/src/fastmst.rs:
+crates/mst/src/pipeline.rs:

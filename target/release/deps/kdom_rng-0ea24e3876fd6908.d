@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kdom_rng-0ea24e3876fd6908.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libkdom_rng-0ea24e3876fd6908.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libkdom_rng-0ea24e3876fd6908.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

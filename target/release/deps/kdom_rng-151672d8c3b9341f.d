@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kdom_rng-151672d8c3b9341f.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/kdom_rng-151672d8c3b9341f: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

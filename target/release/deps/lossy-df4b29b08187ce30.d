@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lossy-df4b29b08187ce30.d: crates/bench/benches/lossy.rs
+
+/root/repo/target/release/deps/lossy-df4b29b08187ce30: crates/bench/benches/lossy.rs
+
+crates/bench/benches/lossy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/partition-f55600068b4fa813.d: crates/bench/benches/partition.rs
+
+/root/repo/target/release/deps/partition-f55600068b4fa813: crates/bench/benches/partition.rs
+
+crates/bench/benches/partition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-4d55202e53d4828b.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-4d55202e53d4828b: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simple_mst-fd0b2512f4c1ccbd.d: crates/bench/benches/simple_mst.rs
+
+/root/repo/target/release/deps/simple_mst-fd0b2512f4c1ccbd: crates/bench/benches/simple_mst.rs
+
+crates/bench/benches/simple_mst.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/asynchronous-4417245142e0294d.d: examples/asynchronous.rs
+
+/root/repo/target/release/examples/asynchronous-4417245142e0294d: examples/asynchronous.rs
+
+examples/asynchronous.rs:

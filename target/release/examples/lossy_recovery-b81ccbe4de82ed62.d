@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/lossy_recovery-b81ccbe4de82ed62.d: examples/lossy_recovery.rs
+
+/root/repo/target/release/examples/lossy_recovery-b81ccbe4de82ed62: examples/lossy_recovery.rs
+
+examples/lossy_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_tmp-ce045380cd24a0e0.d: examples/probe_tmp.rs
+
+/root/repo/target/release/examples/probe_tmp-ce045380cd24a0e0: examples/probe_tmp.rs
+
+examples/probe_tmp.rs:

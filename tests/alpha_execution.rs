@@ -6,8 +6,8 @@ use kdom::congest::run_protocol_alpha;
 use kdom::core::dist::bfs::BfsNode;
 use kdom::core::dist::election::ElectionNode;
 use kdom::core::dist::fragments::{run_simple_mst, FragmentNode};
-use kdom::graph::generators::{Family, GenConfig};
 use kdom::graph::generators::gnp_connected;
+use kdom::graph::generators::{Family, GenConfig};
 use kdom::graph::properties::bfs_distances;
 use kdom::graph::NodeId;
 
@@ -68,5 +68,8 @@ fn alpha_time_scales_with_max_delay() {
     };
     let (_, fast) = run_protocol_alpha(&g, mk(), 1, 1, 50_000).unwrap();
     let (_, slow) = run_protocol_alpha(&g, mk(), 1, 8, 50_000).unwrap();
-    assert!(slow.virtual_time > fast.virtual_time, "delays slow virtual time");
+    assert!(
+        slow.virtual_time > fast.virtual_time,
+        "delays slow virtual time"
+    );
 }

@@ -11,7 +11,12 @@ use kdom::graph::{Graph, NodeId, RootedTree};
 fn run_distributed_balanced(g: &Graph) -> u64 {
     let t = RootedTree::from_graph(g, NodeId(0));
     let port_to = |v: NodeId, to: NodeId| {
-        Port(g.neighbors(v).iter().position(|a| a.to == to).expect("tree edge"))
+        Port(
+            g.neighbors(v)
+                .iter()
+                .position(|a| a.to == to)
+                .expect("tree edge"),
+        )
     };
     let nodes: Vec<BalancedNode> = (0..g.node_count())
         .map(|v| {

@@ -53,14 +53,18 @@ fn alpha_round_limit_is_reported() {
             false
         }
     }
-    let err = run_protocol_alpha(&g, vec![Forever, Forever, Forever, Forever], 1, 2, 20)
-        .unwrap_err();
+    let err =
+        run_protocol_alpha(&g, vec![Forever, Forever, Forever, Forever], 1, 2, 20).unwrap_err();
     assert!(matches!(err, SimError::RoundLimitExceeded { .. }));
 }
 
 #[test]
 fn fast_mst_on_new_topologies() {
-    for g in [hypercube(6, 1), torus(5, 5, 2), expanderish(&GenConfig::with_seed(50, 3), 2)] {
+    for g in [
+        hypercube(6, 1),
+        torus(5, 5, 2),
+        expanderish(&GenConfig::with_seed(50, 3), 2),
+    ] {
         let run = fast_mst(&g);
         assert!(is_mst(&g, &run.mst_edges));
         assert_eq!(run.stalls, 0);

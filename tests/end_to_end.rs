@@ -74,7 +74,11 @@ fn pipeline_handles_custom_clusterings() {
     let clusters: Vec<u64> = g.nodes().map(|v| (v.0 % 3) as u64).collect();
     let run = run_pipeline(&g, NodeId(0), &clusters, true, false);
     assert_eq!(run.stalls, 0);
-    assert_eq!(run.mst_weights.len(), 2, "3 clusters need 2 connecting edges");
+    assert_eq!(
+        run.mst_weights.len(),
+        2,
+        "3 clusters need 2 connecting edges"
+    );
 }
 
 #[test]

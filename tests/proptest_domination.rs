@@ -1,7 +1,6 @@
 //! Property-based tests for the k-dominating-set algorithms: random
 //! trees/graphs and k values, with every paper invariant as a property.
-
-use proptest::prelude::*;
+//! (Seeded-loop style: cases derive deterministically from fixed seeds.)
 
 use kdom::core::fastdom::{fast_dom_g, fast_dom_t, WithinCluster};
 use kdom::core::partition::{dom_partition, dom_partition_1, dom_partition_2};
@@ -11,113 +10,166 @@ use kdom::core::verify::{
 };
 use kdom::graph::generators::{gnp_connected, random_tree, GenConfig};
 use kdom::graph::{Graph, NodeId, RootedTree};
+use kdom_rng::StdRng;
 
-fn tree_strategy() -> impl Strategy<Value = (Graph, usize)> {
-    (2usize..120, any::<u64>(), 1usize..9).prop_map(|(n, seed, k)| {
-        (random_tree(&GenConfig::with_seed(n, seed)), k)
-    })
+fn random_tree_case(rng: &mut StdRng) -> (Graph, usize) {
+    let n = rng.random_range(2usize..120);
+    let seed = rng.next_u64();
+    let k = rng.random_range(1usize..9);
+    (random_tree(&GenConfig::with_seed(n, seed)), k)
 }
 
-fn graph_strategy() -> impl Strategy<Value = (Graph, usize)> {
-    (4usize..80, any::<u64>(), 1usize..7, 0.02f64..0.3).prop_map(|(n, seed, k, p)| {
-        (gnp_connected(&GenConfig::with_seed(n, seed), p), k)
-    })
+fn random_graph_case(rng: &mut StdRng) -> (Graph, usize) {
+    let n = rng.random_range(4usize..80);
+    let seed = rng.next_u64();
+    let k = rng.random_range(1usize..7);
+    let p = 0.02 + rng.random_unit() * 0.28;
+    (gnp_connected(&GenConfig::with_seed(n, seed), p), k)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Lemma 2.1 via the exact DP: dominating + within the size bound.
-    #[test]
-    fn treedp_meets_lemma21((g, k) in tree_strategy()) {
+/// Lemma 2.1 via the exact DP: dominating + within the size bound.
+#[test]
+fn treedp_meets_lemma21() {
+    let mut rng = StdRng::seed_from_u64(0xD0_0001);
+    for case in 0..64 {
+        let (g, k) = random_tree_case(&mut rng);
         let t = RootedTree::from_graph(&g, NodeId(0));
         let d = min_k_dominating_tree(&t, k);
-        prop_assert!(check_k_dominating(&g, &d, k).is_ok());
-        prop_assert!(check_dominating_size(g.node_count(), k, d.len()).is_ok());
+        assert!(check_k_dominating(&g, &d, k).is_ok(), "case {case}");
+        assert!(
+            check_dominating_size(g.node_count(), k, d.len()).is_ok(),
+            "case {case}"
+        );
     }
+}
 
-    /// Every DOMPartition variant partitions the tree into connected
-    /// clusters of ≥ k+1 nodes within its radius bound.
-    #[test]
-    fn partitions_meet_their_bounds((g, k) in tree_strategy()) {
+/// Every DOMPartition variant partitions the tree into connected
+/// clusters of ≥ k+1 nodes within its radius bound.
+#[test]
+fn partitions_meet_their_bounds() {
+    let mut rng = StdRng::seed_from_u64(0xD0_0002);
+    for case in 0..64 {
+        let (g, k) = random_tree_case(&mut rng);
         let nodes: Vec<NodeId> = g.nodes().collect();
         let edges: Vec<(NodeId, NodeId)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
         let n = g.node_count();
         let k32 = k as u32;
         for (res, rad_bound) in [
-            (dom_partition_1(&g, nodes.clone(), &edges, k), (4 * k32 * k32).max(1)),
+            (
+                dom_partition_1(&g, nodes.clone(), &edges, k),
+                (4 * k32 * k32).max(1),
+            ),
             (dom_partition_2(&g, nodes.clone(), &edges, k), 5 * k32 + 2),
             (dom_partition(&g, nodes.clone(), &edges, k), 5 * k32 + 2),
         ] {
             let covered: usize = res.clusters.iter().map(|(_, m)| m.len()).sum();
-            prop_assert_eq!(covered, n);
-            if n >= k + 1 {
-                prop_assert!(res.min_size() >= k + 1, "min size {} < {}", res.min_size(), k + 1);
+            assert_eq!(covered, n, "case {case}");
+            if n > k {
+                assert!(
+                    res.min_size() > k,
+                    "case {case}: min size {} < {}",
+                    res.min_size(),
+                    k + 1
+                );
             }
             let cl = kdom::core::fastdom::clusters_to_clustering(n, &res.clusters);
-            prop_assert!(check_clusters(&g, &cl, 1, rad_bound).is_ok());
+            assert!(check_clusters(&g, &cl, 1, rad_bound).is_ok(), "case {case}");
         }
     }
+}
 
-    /// Theorem 3.2: FastDOM_T contract on random trees.
-    #[test]
-    fn fastdom_t_theorem32((g, k) in tree_strategy()) {
+/// Theorem 3.2: FastDOM_T contract on random trees.
+#[test]
+fn fastdom_t_theorem32() {
+    let mut rng = StdRng::seed_from_u64(0xD0_0003);
+    for case in 0..64 {
+        let (g, k) = random_tree_case(&mut rng);
         let res = fast_dom_t(&g, k, WithinCluster::OptimalDp);
-        prop_assert!(check_fastdom_output(&g, &res.clustering, k).is_ok());
+        assert!(
+            check_fastdom_output(&g, &res.clustering, k).is_ok(),
+            "case {case}"
+        );
     }
+}
 
-    /// Theorem 4.4: FastDOM_G contract on random connected graphs.
-    #[test]
-    fn fastdom_g_theorem44((g, k) in graph_strategy()) {
+/// Theorem 4.4: FastDOM_G contract on random connected graphs.
+#[test]
+fn fastdom_g_theorem44() {
+    let mut rng = StdRng::seed_from_u64(0xD0_0004);
+    for case in 0..64 {
+        let (g, k) = random_graph_case(&mut rng);
         let res = fast_dom_g(&g, k);
-        prop_assert!(check_fastdom_output(&g, &res.clustering, k).is_ok());
+        assert!(
+            check_fastdom_output(&g, &res.clustering, k).is_ok(),
+            "case {case}"
+        );
     }
+}
 
-    /// The faithful DiamDOM solver still dominates (with its +1-per-
-    /// cluster size slack).
-    #[test]
-    fn fastdom_t_diamdom_solver_dominates((g, k) in tree_strategy()) {
+/// The faithful DiamDOM solver still dominates (with its +1-per-cluster
+/// size slack).
+#[test]
+fn fastdom_t_diamdom_solver_dominates() {
+    let mut rng = StdRng::seed_from_u64(0xD0_0005);
+    for case in 0..64 {
+        let (g, k) = random_tree_case(&mut rng);
         let res = fast_dom_t(&g, k, WithinCluster::DiamDom);
-        prop_assert!(check_k_dominating(&g, res.dominators(), k).is_ok());
+        assert!(
+            check_k_dominating(&g, res.dominators(), k).is_ok(),
+            "case {case}"
+        );
         let bound = (g.node_count() / (k + 1)).max(1) + res.coarse.len();
-        prop_assert!(res.dominators().len() <= bound);
+        assert!(res.dominators().len() <= bound, "case {case}");
     }
+}
 
-    /// The fully per-node distributed DOMPartition_1 produces a valid
-    /// partition with ≥ k+1 nodes per cluster on arbitrary random trees.
-    #[test]
-    fn distributed_partition1_contract((g, k) in tree_strategy()) {
+/// The fully per-node distributed DOMPartition_1 produces a valid
+/// partition with ≥ k+1 nodes per cluster on arbitrary random trees.
+#[test]
+fn distributed_partition1_contract() {
+    let mut rng = StdRng::seed_from_u64(0xD0_0006);
+    for case in 0..64 {
+        let (g, k) = random_tree_case(&mut rng);
         let (nodes, _) = kdom::core::dist::partition1::run_partition1(&g, NodeId(0), k);
         let n = g.node_count();
         let mut sizes = std::collections::HashMap::new();
-        for v in 0..n {
-            *sizes.entry(nodes[v].cluster).or_insert(0usize) += 1;
+        for node in nodes.iter().take(n) {
+            *sizes.entry(node.cluster).or_insert(0usize) += 1;
         }
-        if n >= k + 1 {
+        if n > k {
             let min = sizes.values().copied().min().unwrap();
-            prop_assert!(min >= k + 1, "cluster of {min} < {}", k + 1);
+            assert!(min > k, "case {case}: cluster of {min} < {}", k + 1);
         }
         // depth chains are consistent
         for v in 0..n {
             match nodes[v].pc_parent {
                 Some(p) => {
                     let w = g.neighbors(NodeId(v))[p.0].to;
-                    prop_assert_eq!(nodes[w.0].cluster, nodes[v].cluster);
-                    prop_assert_eq!(nodes[w.0].depth + 1, nodes[v].depth);
+                    assert_eq!(nodes[w.0].cluster, nodes[v].cluster, "case {case}");
+                    assert_eq!(nodes[w.0].depth + 1, nodes[v].depth, "case {case}");
                 }
-                None => prop_assert!(nodes[v].is_center),
+                None => assert!(nodes[v].is_center, "case {case}"),
             }
         }
     }
+}
 
-    /// Charged rounds are monotone-ish in k and never zero for real runs.
-    #[test]
-    fn partition_charges_positive((g, k) in tree_strategy()) {
-        prop_assume!(g.node_count() > k + 1);
+/// Charged rounds are monotone-ish in k and never zero for real runs.
+#[test]
+fn partition_charges_positive() {
+    let mut rng = StdRng::seed_from_u64(0xD0_0007);
+    let mut ran = 0;
+    for _ in 0..64 {
+        let (g, k) = random_tree_case(&mut rng);
+        if g.node_count() <= k + 1 {
+            continue;
+        }
+        ran += 1;
         let nodes: Vec<NodeId> = g.nodes().collect();
         let edges: Vec<(NodeId, NodeId)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
         let res = dom_partition(&g, nodes, &edges, k);
-        prop_assert!(res.charge.rounds > 0);
-        prop_assert!(res.charge.virtual_rounds > 0 || res.cluster_count() == 1);
+        assert!(res.charge.rounds > 0);
+        assert!(res.charge.virtual_rounds > 0 || res.cluster_count() == 1);
     }
+    assert!(ran > 32, "assumption filtered out too many cases");
 }
