@@ -1,0 +1,154 @@
+//! Engine scaling bench: the shared round engine against the pre-refactor
+//! reference loop, across schedulers and thread counts.
+//!
+//! Produces `BENCH_engine.json` at the repo root (median wall-clock and
+//! rounds/second per target). Every engine leg is asserted byte-identical
+//! to the reference loop before being timed, so the speedups are over
+//! equivalent work. `KDOM_THREADS=4` legs only show wall-clock gains on
+//! multi-core hosts; on a single core they measure the determinism
+//! overhead instead.
+
+use kdom_bench::harness::{note_rounds, write_engine_json, Criterion};
+use kdom_bench::{criterion_group, criterion_main};
+use kdom_congest::engine::run_reference_loop;
+use kdom_congest::{EngineConfig, Scheduling, Simulator};
+use kdom_core::dist::bfs::BfsNode;
+use kdom_core::dist::fragments::FragmentNode;
+use kdom_graph::generators::Family;
+use kdom_graph::Graph;
+use kdom_mst::fastmst::fast_mst;
+
+fn mst_nodes(g: &Graph, k: usize) -> Vec<FragmentNode> {
+    g.nodes()
+        .map(|v| FragmentNode::new(k, g.id_of(v)))
+        .collect()
+}
+
+fn engine_cfg(sched: Scheduling, threads: usize) -> EngineConfig {
+    EngineConfig::default()
+        .with_scheduling(sched)
+        .with_threads(threads)
+}
+
+/// BFS on a 2000-node path: diameter-bound rounds where only the frontier
+/// does work — the showcase for active-set scheduling (the full scan
+/// burns `n` automaton steps per round on idle nodes).
+fn bench_bfs_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/bfs_path2000");
+    let graph = Family::Path.generate(2000, 0);
+    let make =
+        |g: &Graph| -> Vec<BfsNode> { (0..g.node_count()).map(|v| BfsNode::new(v == 0)).collect() };
+
+    let (ref_nodes, ref_report) =
+        run_reference_loop(&graph, make(&graph), 1_000_000).expect("reference quiesces");
+    let want = format!("{ref_nodes:?}{ref_report:?}");
+    let legs = [
+        ("legacy-loop", None),
+        ("full-scan-1t", Some(engine_cfg(Scheduling::FullScan, 1))),
+        ("active-set-1t", Some(engine_cfg(Scheduling::ActiveSet, 1))),
+    ];
+    for (leg, cfg) in legs {
+        if let Some(cfg) = cfg {
+            let mut sim = Simulator::with_config(&graph, make(&graph), cfg);
+            sim.run(1_000_000).expect("engine quiesces");
+            let got = format!("{:?}{:?}", sim.nodes(), sim.report());
+            assert_eq!(want, got, "{leg} diverged from the reference loop");
+        }
+        g.bench_function(leg, |b| match cfg {
+            None => {
+                b.iter(|| run_reference_loop(std::hint::black_box(&graph), make(&graph), 1_000_000))
+            }
+            Some(cfg) => b.iter(|| {
+                let mut sim =
+                    Simulator::with_config(std::hint::black_box(&graph), make(&graph), cfg);
+                sim.run(1_000_000).map(|r| r.rounds)
+            }),
+        });
+        note_rounds(&format!("engine/bfs_path2000/{leg}"), ref_report.rounds);
+    }
+    g.finish();
+}
+
+/// SimpleMST on a ~2500-node grid: the round-schedule-heavy protocol the
+/// active set helps most (late rounds have few live fragments).
+fn bench_simple_mst(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/simple_mst_grid2500");
+    let graph = Family::Grid.generate(2500, 7);
+    let k = 25;
+
+    let (ref_nodes, ref_report) =
+        run_reference_loop(&graph, mst_nodes(&graph, k), 1_000_000).expect("reference quiesces");
+    let want = format!("{ref_nodes:?}{ref_report:?}");
+    let legs = [
+        ("legacy-loop", None),
+        ("full-scan-1t", Some(engine_cfg(Scheduling::FullScan, 1))),
+        ("active-set-1t", Some(engine_cfg(Scheduling::ActiveSet, 1))),
+        ("active-set-4t", Some(engine_cfg(Scheduling::ActiveSet, 4))),
+    ];
+    for (leg, cfg) in legs {
+        if let Some(cfg) = cfg {
+            let mut sim = Simulator::with_config(&graph, mst_nodes(&graph, k), cfg);
+            sim.run(1_000_000).expect("engine quiesces");
+            let got = format!("{:?}{:?}", sim.nodes(), sim.report());
+            assert_eq!(want, got, "{leg} diverged from the reference loop");
+        }
+        g.bench_function(leg, |b| match cfg {
+            None => b.iter(|| {
+                run_reference_loop(
+                    std::hint::black_box(&graph),
+                    mst_nodes(&graph, k),
+                    1_000_000,
+                )
+            }),
+            Some(cfg) => b.iter(|| {
+                let mut sim =
+                    Simulator::with_config(std::hint::black_box(&graph), mst_nodes(&graph, k), cfg);
+                sim.run(1_000_000).map(|r| r.rounds)
+            }),
+        });
+        note_rounds(
+            &format!("engine/simple_mst_grid2500/{leg}"),
+            ref_report.rounds,
+        );
+    }
+    g.finish();
+}
+
+/// The full Fast-MST composition on a ~1600-node grid; the composed
+/// runners read `KDOM_THREADS`/`KDOM_SCHED` from the environment, so the
+/// legs are driven through env vars (the bench harness is one thread, so
+/// the mutation is race-free).
+fn bench_fast_mst(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/fast_mst_grid1600");
+    let graph = Family::Grid.generate(1600, 11);
+
+    std::env::remove_var("KDOM_SCHED");
+    std::env::remove_var("KDOM_THREADS");
+    let want = fast_mst(&graph);
+    for (leg, threads, sched) in [
+        ("full-scan-1t", "1", "full"),
+        ("active-set-1t", "1", "active"),
+        ("active-set-4t", "4", "active"),
+    ] {
+        std::env::set_var("KDOM_THREADS", threads);
+        std::env::set_var("KDOM_SCHED", sched);
+        let got = fast_mst(&graph);
+        assert_eq!(
+            format!("{want:?}"),
+            format!("{got:?}"),
+            "{leg} diverged on Fast-MST"
+        );
+        g.bench_function(leg, |b| b.iter(|| fast_mst(std::hint::black_box(&graph))));
+        note_rounds(
+            &format!("engine/fast_mst_grid1600/{leg}"),
+            want.total_rounds(),
+        );
+    }
+    std::env::remove_var("KDOM_SCHED");
+    std::env::remove_var("KDOM_THREADS");
+    g.finish();
+    write_engine_json().expect("BENCH_engine.json written");
+}
+
+criterion_group!(benches, bench_bfs_path, bench_simple_mst, bench_fast_mst);
+criterion_main!(benches);

@@ -1017,6 +1017,137 @@ pub fn e20(quick: bool) -> Table {
     t
 }
 
+/// E21 — engine scaling: the shared round engine (active-set scheduling,
+/// flat message arena, optional sharded parallelism) against the
+/// pre-refactor reference loop, with byte-identical outputs as the hard
+/// check and wall-clock speedups reported. Writes `BENCH_engine.json`
+/// at the repo root.
+pub fn e21(quick: bool) -> Table {
+    use kdom_congest::engine::run_reference_loop;
+    use kdom_congest::{EngineConfig, Scheduling, Simulator};
+    use kdom_core::dist::bfs::BfsNode;
+    use kdom_core::dist::fragments::FragmentNode;
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        "E21 — round-engine scaling vs the pre-refactor loop",
+        &[
+            "target",
+            "n",
+            "rounds",
+            "identical",
+            "legacy",
+            "full-scan",
+            "active-set",
+            "act-4t",
+            "best speedup",
+        ],
+    );
+    let reps = if quick { 1 } else { 3 };
+    let median = |f: &mut dyn FnMut()| -> f64 {
+        let mut xs: Vec<f64> = (0..reps)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs[xs.len() / 2]
+    };
+    let ms = |s: f64| format!("{:.1} ms", s * 1e3);
+    let cfg = |sched, threads| {
+        EngineConfig::default()
+            .with_scheduling(sched)
+            .with_threads(threads)
+    };
+
+    let bfs_n = if quick { 400 } else { 2000 };
+    let grid_n = if quick { 400 } else { 2500 };
+    let bfs_g = Family::Path.generate(bfs_n, 0);
+    let mst_g = Family::Grid.generate(grid_n, 7);
+    let k = if quick { 9 } else { 25 };
+
+    enum Which {
+        Bfs,
+        Mst,
+    }
+    for (label, g, which) in [
+        ("BFS/path", &bfs_g, Which::Bfs),
+        ("SimpleMST/grid", &mst_g, Which::Mst),
+    ] {
+        macro_rules! drive {
+            ($make:expr) => {{
+                let make = $make;
+                let (ref_nodes, ref_report) =
+                    run_reference_loop(g, make(), 1_000_000).expect("reference quiesces");
+                let want = format!("{ref_nodes:?}{ref_report:?}");
+                let mut identical = true;
+                let mut run_engine = |c: EngineConfig| -> f64 {
+                    let mut sim = Simulator::with_config(g, make(), c);
+                    sim.run(1_000_000).expect("engine quiesces");
+                    identical &= want == format!("{:?}{:?}", sim.nodes(), sim.report());
+                    median(&mut || {
+                        let mut sim = Simulator::with_config(g, make(), c);
+                        let _ = std::hint::black_box(sim.run(1_000_000));
+                    })
+                };
+                let full = run_engine(cfg(Scheduling::FullScan, 1));
+                let active = run_engine(cfg(Scheduling::ActiveSet, 1));
+                let act4 = run_engine(cfg(Scheduling::ActiveSet, 4));
+                let legacy = median(&mut || {
+                    let _ = std::hint::black_box(run_reference_loop(g, make(), 1_000_000));
+                });
+                for (leg, secs) in [
+                    ("legacy-loop", legacy),
+                    ("full-scan-1t", full),
+                    ("active-set-1t", active),
+                    ("active-set-4t", act4),
+                ] {
+                    let name = format!("e21/{label}/{leg}");
+                    crate::harness::record_measurement(&name, secs);
+                    crate::harness::note_rounds(&name, ref_report.rounds);
+                }
+                let ok = t.check(identical).to_string();
+                let best = legacy / full.min(active).min(act4);
+                t.row(vec![
+                    label.to_string(),
+                    g.node_count().to_string(),
+                    ref_report.rounds.to_string(),
+                    ok,
+                    ms(legacy),
+                    ms(full),
+                    ms(active),
+                    ms(act4),
+                    format!("{best:.2}x"),
+                ]);
+            }};
+        }
+        match which {
+            Which::Bfs => {
+                drive!(|| (0..g.node_count())
+                    .map(|v| BfsNode::new(v == 0))
+                    .collect::<Vec<_>>())
+            }
+            Which::Mst => {
+                drive!(|| g
+                    .nodes()
+                    .map(|v| FragmentNode::new(k, g.id_of(v)))
+                    .collect::<Vec<_>>())
+            }
+        }
+    }
+    match crate::harness::write_engine_json() {
+        Ok(path) => t.note(format!("wrote {}", path.display())),
+        Err(e) => {
+            t.check(false);
+            t.note(format!("failed to write BENCH_engine.json: {e}"));
+        }
+    }
+    t.note("hard checks assert byte-identical outputs only; speedups are machine-dependent (multi-thread legs need multi-core hosts to win)");
+    t
+}
+
 /// Runs every experiment.
 pub fn all(quick: bool) -> Vec<Table> {
     vec![
@@ -1040,6 +1171,7 @@ pub fn all(quick: bool) -> Vec<Table> {
         e18(quick),
         e19(quick),
         e20(quick),
+        e21(quick),
     ]
 }
 
@@ -1066,6 +1198,7 @@ pub fn by_name(name: &str, quick: bool) -> Option<Table> {
         "e18" => e18(quick),
         "e19" => e19(quick),
         "e20" => e20(quick),
+        "e21" => e21(quick),
         _ => return None,
     })
 }

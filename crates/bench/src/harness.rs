@@ -12,7 +12,84 @@
 //! default 300); set `KDOM_BENCH_MS=0` for a single-iteration smoke run
 //! (useful in CI, where only "does it run" matters).
 
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One recorded measurement, kept for [`write_engine_json`].
+#[derive(Clone, Debug)]
+struct Sample {
+    name: String,
+    median_secs: f64,
+    rounds: Option<u64>,
+}
+
+/// Every benchmark run in this process, in execution order. Smoke runs
+/// (`KDOM_BENCH_MS=0`) record their single probe iteration so CI can
+/// still emit an artifact.
+static RESULTS: Mutex<Vec<Sample>> = Mutex::new(Vec::new());
+
+/// Records a measurement taken outside [`Criterion`] (the experiments
+/// binary times its engine-scaling legs directly) so it lands in
+/// [`write_engine_json`] alongside harness-timed targets.
+pub fn record_measurement(name: &str, median_secs: f64) {
+    record(name, median_secs);
+}
+
+fn record(name: &str, median_secs: f64) {
+    let mut r = RESULTS.lock().unwrap();
+    r.push(Sample {
+        name: name.to_string(),
+        median_secs,
+        rounds: None,
+    });
+}
+
+/// Attaches a round count to the most recent measurement named `name`,
+/// so [`write_engine_json`] can report rounds/second.
+pub fn note_rounds(name: &str, rounds: u64) {
+    let mut r = RESULTS.lock().unwrap();
+    if let Some(s) = r.iter_mut().rev().find(|s| s.name == name) {
+        s.rounds = Some(rounds);
+    }
+}
+
+/// Writes every recorded measurement to `BENCH_engine.json` at the repo
+/// root: per-target median wall-clock seconds, plus rounds/second where
+/// [`note_rounds`] was called. Returns the path written.
+pub fn write_engine_json() -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_engine.json"
+    ));
+    let results = RESULTS.lock().unwrap();
+    let nproc = std::thread::available_parallelism().map_or(0, usize::from);
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"nproc\": {nproc},\n"));
+    out.push_str("  \"targets\": [\n");
+    for (i, s) in results.iter().enumerate() {
+        let name = s.name.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"median_secs\": {:.9}",
+            s.median_secs
+        ));
+        if let Some(rounds) = s.rounds {
+            let rps = rounds as f64 / s.median_secs.max(1e-12);
+            out.push_str(&format!(
+                ", \"rounds\": {rounds}, \"rounds_per_sec\": {rps:.1}"
+            ));
+        }
+        out.push('}');
+        if i + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out)?;
+    eprintln!("wrote {}", path.display());
+    Ok(path)
+}
 
 /// Top-level harness handle (mirrors `criterion::Criterion`).
 #[derive(Debug, Default)]
@@ -104,6 +181,7 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
     let probe = b.elapsed.max(Duration::from_nanos(1));
     if budget.is_zero() {
         eprintln!("  {name}: {} (smoke run)", fmt_dur(probe));
+        record(name, probe.as_secs_f64());
         return;
     }
     // Batch size targeting ~10 batches within the budget.
@@ -126,6 +204,7 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
     let min = samples[0];
     let median = samples[samples.len() / 2];
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    record(name, median);
     eprintln!(
         "  {name}: min {} / median {} / mean {}  ({} batches × {iters} iters)",
         fmt_secs(min),

@@ -48,9 +48,10 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 use kdom_graph::graph::{Graph, NodeId};
 use kdom_rng::StdRng;
 
+use crate::engine::{self, reverse_port_table};
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::reliable::{LinkState, ReliableConfig, RetxDecision};
-use crate::sim::{reverse_port_table, NodeCtx, Outbox, Port, Protocol, SimError, StallReport};
+use crate::sim::{Port, Protocol, SimError, StallReport};
 
 /// Statistics of an asynchronous (synchronizer-α) execution.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -185,6 +186,10 @@ pub struct AlphaSimulator<'g, P: Protocol> {
     /// Payload wires registered with the ARQ layer and not yet acked.
     unacked_payloads: u64,
     last_activity: u64,
+    /// Pooled outbox slab handed to the shared round executor.
+    outbox_pool: Vec<Option<P::Msg>>,
+    /// First CONGEST violation observed; surfaced by [`Self::run`].
+    violation: Option<SimError>,
 }
 
 // BinaryHeap needs Ord; box the event behind a sequence number and keep
@@ -264,6 +269,8 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
             inflight_payloads: 0,
             unacked_payloads: 0,
             last_activity: 0,
+            outbox_pool: Vec::new(),
+            violation: None,
         }
     }
 
@@ -327,17 +334,17 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
             }
             Some(inj) => {
                 let tx = inj.transmit(arc.edge, now);
-                for extra in tx.copies {
+                engine::fan_out(tx.copies, frame, |extra, frame| {
                     let delay = self.rng.random_range(1..=self.max_delay) + extra;
                     self.enqueue(
                         now + delay,
                         Event::Deliver {
                             to,
                             port: back,
-                            frame: frame.clone(),
+                            frame,
                         },
                     );
-                }
+                });
             }
         }
     }
@@ -419,20 +426,27 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
             inbox.sort_by_key(|(p, _)| *p);
             inbox
         };
-        let ctx = NodeCtx::new(
-            NodeId(v),
-            self.ids[v],
-            pulse,
-            self.graph.neighbors(NodeId(v)),
+        let violation = engine::execute_node_round(
+            self.graph,
             &self.ids,
+            v,
+            pulse,
+            &mut self.nodes[v].inner,
+            &inbox,
+            &mut self.outbox_pool,
         );
-        let mut out = Outbox::with_degree(ctx.degree());
-        self.nodes[v].inner.round(&ctx, &inbox, &mut out);
-        let slots = out.into_slots();
+        if let Some(port) = violation {
+            self.violation.get_or_insert(SimError::CongestViolation {
+                node: NodeId(v),
+                port,
+                round: pulse,
+            });
+        }
+        let mut slots = std::mem::take(&mut self.outbox_pool);
         let mut sent = 0u64;
         self.nodes[v].awaiting.iter_mut().for_each(|a| *a = 0);
-        for (p, slot) in slots.into_iter().enumerate() {
-            let Some(msg) = slot else { continue };
+        for (p, slot) in slots.iter_mut().enumerate() {
+            let Some(msg) = slot.take() else { continue };
             if self.dead_ports[v][p] {
                 // neighbor is gone: the payload is undeliverable and no
                 // ack will ever come — don't wait for one
@@ -443,6 +457,7 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
             self.nodes[v].awaiting[p] = 1;
             self.transport_send(now, v, Port(p), Wire::Payload { pulse, msg });
         }
+        self.outbox_pool = slots;
         self.nodes[v].ran_current = true;
         self.nodes[v].pending_acks = sent;
         self.nodes[v].safe_sent = false;
@@ -585,6 +600,17 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
         }
     }
 
+    /// Surfaces a recorded CONGEST violation as the run's error.
+    fn take_violation(&mut self) -> Result<(), SimError> {
+        match self.violation.take() {
+            Some(e) => {
+                self.sync_fault_counters();
+                Err(e)
+            }
+            None => Ok(()),
+        }
+    }
+
     fn sync_fault_counters(&mut self) {
         if let Some(inj) = &self.injector {
             self.report.dropped_messages = inj.dropped() + self.crash_dropped;
@@ -603,6 +629,8 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
     /// - [`SimError::Stalled`] if the event queue drains before
     ///   quiescence (lost messages with no recovery layer);
     /// - [`SimError::DeliveryExhausted`] if the ARQ layer gives up a link;
+    /// - [`SimError::CongestViolation`] if a node double-sent on a port
+    ///   (matching the synchronous executor's watchdog);
     /// - [`SimError::BrokenTopology`] on an asymmetric adjacency list.
     pub fn run(&mut self, max_pulses: u64) -> Result<AlphaReport, SimError> {
         for v in 0..self.nodes.len() {
@@ -635,6 +663,7 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
             }
         }
         while !self.all_quiet() {
+            self.take_violation()?;
             let Some(Reverse((time, _, ev))) = self.queue.pop() else {
                 self.sync_fault_counters();
                 return Err(SimError::Stalled {
@@ -707,6 +736,7 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
                 }
             }
         }
+        self.take_violation()?;
         self.sync_fault_counters();
         Ok(self.report.clone())
     }
@@ -778,7 +808,7 @@ pub fn run_protocol_alpha_reliable<P: Protocol>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sim::{run_protocol, Message};
+    use crate::sim::{run_protocol, Message, NodeCtx, Outbox};
     use kdom_graph::generators::{gnp_connected, path, GenConfig};
     use kdom_graph::properties::bfs_distances;
 

@@ -1,0 +1,821 @@
+//! The shared round engine behind both executors.
+//!
+//! [`Simulator`](crate::Simulator) (synchronous lockstep) and
+//! [`AlphaSimulator`](crate::AlphaSimulator) (synchronizer α) used to carry
+//! their own copies of the round machinery — context construction, outbox
+//! handling, reverse-port delivery. This module owns that machinery once,
+//! rebuilt around three ideas:
+//!
+//! 1. **Active-set scheduling.** Instead of scanning all `n` automata every
+//!    round, the engine steps only nodes that either report `!is_done()` or
+//!    have messages queued. This relies on the [`Protocol`] contract: a
+//!    node that is done and receives nothing does nothing (it may only
+//!    "un-done" itself in response to a message, which puts it back in the
+//!    active set). [`Scheduling::FullScan`] restores the historical
+//!    scan-everything behaviour; the two schedules produce byte-identical
+//!    runs for contract-abiding protocols.
+//!
+//! 2. **A flat double-buffered message arena.** Inboxes are CSR-style
+//!    slots indexed by `(node, port)` — one `Option<(msg, copies)>` per
+//!    edge direction, where `copies` counts fault-injected duplicates of
+//!    the same CONGEST message. Delivery is a store, consumption is a
+//!    take, and the per-round `sort_by_key` of the old `Vec<Vec<…>>`
+//!    inboxes disappears because ports *are* the index. `Outbox` slabs are
+//!    pooled per worker, so steady-state rounds allocate nothing.
+//!
+//! 3. **A deterministically parallel compute phase.** With
+//!    [`EngineConfig::threads`] > 1 the active list is split into
+//!    contiguous node shards and executed under [`std::thread::scope`];
+//!    workers write sends into per-shard staging buffers, and a single
+//!    sequential merge replays the staged sends in ascending node order —
+//!    the exact order the single-threaded loop produces. All shared
+//!    mutable effects (message counters, the fault injector's RNG stream,
+//!    arena stores) happen only in the merge, so a parallel run is
+//!    **byte-identical** to a single-threaded one: same outputs, same
+//!    [`RunReport`], same injected-fault stream. After an error
+//!    ([`SimError::CongestViolation`] / [`SimError::BrokenTopology`]) the
+//!    reported counters still match the sequential run, but node automata
+//!    beyond the failing node are in an unspecified state (they may have
+//!    executed the failing round); errors abort the run, so no caller
+//!    observes that state through the public API.
+//!
+//! Configuration comes from [`EngineConfig`], which the convenience
+//! runners fill from the environment: `KDOM_THREADS` selects the worker
+//! count and `KDOM_SCHED=full` opts back into the full scan.
+
+use kdom_graph::graph::{Graph, NodeId};
+
+use crate::faults::FaultInjector;
+use crate::report::RunReport;
+use crate::sim::{Message, NodeCtx, Outbox, Port, Protocol, SimError, StallReport};
+
+/// Execution knobs of the round engine: worker threads and scheduling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads for the compute phase. `1` runs everything inline
+    /// on the calling thread (no spawns); higher values shard the active
+    /// set. Results are byte-identical either way.
+    pub threads: usize,
+    /// Which nodes are stepped each round.
+    pub scheduling: Scheduling,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 1,
+            scheduling: Scheduling::ActiveSet,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Reads the configuration from the environment: `KDOM_THREADS` (a
+    /// positive worker count, clamped to 256) and `KDOM_SCHED`
+    /// (`full`/`full-scan` for [`Scheduling::FullScan`]; anything else,
+    /// including unset, selects [`Scheduling::ActiveSet`]).
+    pub fn from_env() -> Self {
+        let threads = std::env::var("KDOM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|t| t.clamp(1, 256))
+            .unwrap_or(1);
+        let scheduling = match std::env::var("KDOM_SCHED").as_deref() {
+            Ok("full") | Ok("full-scan") | Ok("fullscan") => Scheduling::FullScan,
+            _ => Scheduling::ActiveSet,
+        };
+        EngineConfig {
+            threads,
+            scheduling,
+        }
+    }
+
+    /// Returns the config with the worker count replaced.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Returns the config with the scheduling policy replaced.
+    pub fn with_scheduling(mut self, scheduling: Scheduling) -> Self {
+        self.scheduling = scheduling;
+        self
+    }
+}
+
+/// Node-scheduling policy of the engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Scheduling {
+    /// Step every automaton every round (the historical behaviour).
+    FullScan,
+    /// Step only automata that are not done or have queued messages.
+    #[default]
+    ActiveSet,
+}
+
+/// Precomputes, for every `(node, port)`, the port the same edge occupies
+/// at the other endpoint (`None` marks a corrupted, asymmetric topology).
+pub(crate) fn reverse_port_table(graph: &Graph) -> Vec<Vec<Option<Port>>> {
+    (0..graph.node_count())
+        .map(|v| {
+            graph
+                .neighbors(NodeId(v))
+                .iter()
+                .map(|arc| {
+                    graph
+                        .neighbors(arc.to)
+                        .iter()
+                        .position(|a| a.edge == arc.edge)
+                        .map(Port)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs one synchronous protocol round for node `v`: builds the context,
+/// recycles `outbox_buf` into a fresh [`Outbox`], executes
+/// [`Protocol::round`], and leaves the sends in `outbox_buf` (one
+/// optional message per port). Returns the port of the first CONGEST
+/// violation, if the node double-sent.
+///
+/// Both executors call this — it is the single place a protocol's round
+/// function runs.
+pub(crate) fn execute_node_round<P: Protocol>(
+    graph: &Graph,
+    ids: &[u64],
+    v: usize,
+    round: u64,
+    node: &mut P,
+    inbox: &[(Port, P::Msg)],
+    outbox_buf: &mut Vec<Option<P::Msg>>,
+) -> Option<Port> {
+    let ctx = NodeCtx::new(NodeId(v), ids[v], round, graph.neighbors(NodeId(v)), ids);
+    let mut out = Outbox::recycle(std::mem::take(outbox_buf), ctx.degree());
+    node.round(&ctx, inbox, &mut out);
+    let violation = out.violation();
+    *outbox_buf = out.into_slots();
+    violation
+}
+
+/// Hands `item` to `deliver` once per tag in `tags`, cloning for every
+/// copy but the last (the common single-copy case moves without cloning).
+pub(crate) fn fan_out<T: Clone, E>(tags: Vec<E>, item: T, mut deliver: impl FnMut(E, T)) {
+    let n = tags.len();
+    let mut item = Some(item);
+    for (i, tag) in tags.into_iter().enumerate() {
+        let it = if i + 1 == n {
+            item.take().expect("one item per fan-out")
+        } else {
+            item.clone().expect("one item per fan-out")
+        };
+        deliver(tag, it);
+    }
+}
+
+/// One arena slot: the message queued on an edge direction plus the
+/// number of identical copies the fault injector delivered.
+type Slot<M> = Option<(M, u32)>;
+
+/// Per-worker reusable state: the materialised inbox, the pooled outbox
+/// slab, staged sends, and the shard's contribution to the next round's
+/// bookkeeping.
+struct WorkerScratch<M> {
+    inbox: Vec<(Port, M)>,
+    outbox: Vec<Option<M>>,
+    /// Sends staged for the merge: `(sender, port, message)`, in the
+    /// shard's (ascending-node) execution order.
+    staged: Vec<(u32, u32, M)>,
+    /// Active nodes of this shard still reporting `!is_done()`.
+    undone: Vec<u32>,
+    /// Queued copies consumed by crashed nodes this round.
+    crash_lost: u64,
+    /// First CONGEST violation in this shard, by node order.
+    violation: Option<(u32, Port)>,
+}
+
+impl<M> Default for WorkerScratch<M> {
+    fn default() -> Self {
+        WorkerScratch {
+            inbox: Vec::new(),
+            outbox: Vec::new(),
+            staged: Vec::new(),
+            undone: Vec::new(),
+            crash_lost: 0,
+            violation: None,
+        }
+    }
+}
+
+/// Executes the active nodes of one contiguous shard. `nodes` and
+/// `slots` are the shard's windows into the automata array and the
+/// inbox arena; `node_base`/`slot_base` translate global indices into
+/// them. Purely local: all cross-node effects are staged in `scratch`.
+#[allow(clippy::too_many_arguments)]
+fn run_shard<P: Protocol>(
+    graph: &Graph,
+    ids: &[u64],
+    off: &[usize],
+    injector: Option<&FaultInjector>,
+    round: u64,
+    active: &[u32],
+    node_base: usize,
+    nodes: &mut [P],
+    slot_base: usize,
+    slots: &mut [Slot<P::Msg>],
+    scratch: &mut WorkerScratch<P::Msg>,
+) {
+    scratch.staged.clear();
+    scratch.undone.clear();
+    scratch.crash_lost = 0;
+    scratch.violation = None;
+    for &v32 in active {
+        let v = v32 as usize;
+        let deg = graph.degree(NodeId(v));
+        let s0 = off[v] - slot_base;
+        if injector.is_some_and(|inj| inj.is_crashed(NodeId(v), round)) {
+            // a crashed node consumes nothing and sends nothing; its
+            // queued arrivals are lost
+            for slot in &mut slots[s0..s0 + deg] {
+                if let Some((_, copies)) = slot.take() {
+                    scratch.crash_lost += u64::from(copies);
+                }
+            }
+            continue;
+        }
+        scratch.inbox.clear();
+        for (p, slot) in slots[s0..s0 + deg].iter_mut().enumerate() {
+            if let Some((msg, copies)) = slot.take() {
+                for _ in 1..copies {
+                    scratch.inbox.push((Port(p), msg.clone()));
+                }
+                scratch.inbox.push((Port(p), msg));
+            }
+        }
+        let node = &mut nodes[v - node_base];
+        let violation = execute_node_round(
+            graph,
+            ids,
+            v,
+            round,
+            node,
+            &scratch.inbox,
+            &mut scratch.outbox,
+        );
+        if let Some(port) = violation {
+            if scratch.violation.is_none() {
+                scratch.violation = Some((v32, port));
+            }
+        }
+        for (p, slot) in scratch.outbox.iter_mut().enumerate() {
+            if let Some(msg) = slot.take() {
+                scratch.staged.push((v32, p as u32, msg));
+            }
+        }
+        if !node.is_done() {
+            scratch.undone.push(v32);
+        }
+    }
+}
+
+/// Shards smaller than this run inline even when more threads are
+/// configured — spawn overhead would dominate tiny rounds.
+const MIN_SHARD_NODES: usize = 32;
+
+/// The engine proper: owns the automata, the arena, the schedule
+/// bookkeeping, and the accounting shared by every execution mode.
+pub(crate) struct RoundEngine<'g, P: Protocol> {
+    graph: &'g Graph,
+    config: EngineConfig,
+    nodes: Vec<P>,
+    /// Application-level node ids, hoisted out of the round loop.
+    ids: Vec<u64>,
+    /// `rev_port[v][p]`: the port of the edge `(v, p)` at its other
+    /// endpoint, precomputed so delivery is O(1) per message.
+    rev_port: Vec<Vec<Option<Port>>>,
+    /// CSR offsets: node `v`'s arena slots are `off[v]..off[v + 1]`.
+    off: Vec<usize>,
+    /// Arena being consumed this round (last round's deliveries).
+    inbox: Vec<Slot<P::Msg>>,
+    /// Arena receiving this round's sends (next round's inbox).
+    pending: Vec<Slot<P::Msg>>,
+    /// Message copies queued in `pending`.
+    pending_count: u64,
+    /// Epoch stamps marking nodes already in `receivers` this round.
+    recv_mark: Vec<u64>,
+    /// Nodes with queued messages in `pending`, sorted after each step.
+    receivers: Vec<u32>,
+    /// Nodes reporting `!is_done()` as of their last execution, sorted.
+    undone: Vec<u32>,
+    /// Scratch for the current round's active list.
+    active: Vec<u32>,
+    scratch: Vec<WorkerScratch<P::Msg>>,
+    /// The first step visits every node regardless of schedule, matching
+    /// the historical round-0 behaviour.
+    first_step: bool,
+    round: u64,
+    report: RunReport,
+    injector: Option<FaultInjector>,
+    last_activity: u64,
+    /// Messages lost in the inboxes of crashed nodes (counted separately
+    /// from the injector's link-level drops).
+    crash_lost: u64,
+}
+
+impl<'g, P: Protocol> RoundEngine<'g, P> {
+    /// Creates an engine with one automaton per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != graph.node_count()`.
+    pub fn new(
+        graph: &'g Graph,
+        nodes: Vec<P>,
+        config: EngineConfig,
+        injector: Option<FaultInjector>,
+    ) -> Self {
+        assert_eq!(
+            nodes.len(),
+            graph.node_count(),
+            "one automaton per node required"
+        );
+        let n = graph.node_count();
+        let ids: Vec<u64> = (0..n).map(|v| graph.id_of(NodeId(v))).collect();
+        let rev_port = reverse_port_table(graph);
+        let mut off = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        off.push(0);
+        for v in 0..n {
+            acc += graph.degree(NodeId(v));
+            off.push(acc);
+        }
+        let undone = (0..n as u32)
+            .filter(|&v| !nodes[v as usize].is_done())
+            .collect();
+        RoundEngine {
+            graph,
+            config,
+            nodes,
+            ids,
+            rev_port,
+            off,
+            inbox: (0..acc).map(|_| None).collect(),
+            pending: (0..acc).map(|_| None).collect(),
+            pending_count: 0,
+            recv_mark: vec![0; n],
+            receivers: Vec::new(),
+            undone,
+            active: Vec::new(),
+            scratch: Vec::new(),
+            first_step: true,
+            round: 0,
+            report: RunReport::default(),
+            injector,
+            last_activity: 0,
+            crash_lost: 0,
+        }
+    }
+
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    pub fn into_parts(self) -> (Vec<P>, RunReport) {
+        (self.nodes, self.report)
+    }
+
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Whether every surviving node is done and no messages are queued.
+    /// Crash excuses are evaluated at the *current* round, so a node
+    /// scheduled to crash later still counts as unfinished now.
+    pub fn quiescent(&self) -> bool {
+        self.pending_count == 0
+            && match &self.injector {
+                None => self.undone.is_empty(),
+                Some(inj) => self
+                    .undone
+                    .iter()
+                    .all(|&v| inj.is_crashed(NodeId(v as usize), self.round)),
+            }
+    }
+
+    /// Snapshot of who is stuck: unfinished survivors, per-node queued
+    /// message counts (copies included, read straight from the arena),
+    /// and crash context.
+    pub fn stall_report(&self) -> StallReport {
+        let round = self.round;
+        let is_crashed = |v: usize| {
+            self.injector
+                .as_ref()
+                .is_some_and(|inj| inj.is_crashed(NodeId(v), round))
+        };
+        StallReport {
+            not_done: self
+                .undone
+                .iter()
+                .map(|&v| v as usize)
+                .filter(|&v| !is_crashed(v))
+                .map(NodeId)
+                .collect(),
+            pending: self
+                .receivers
+                .iter()
+                .map(|&v| (NodeId(v as usize), self.queued_at(v as usize)))
+                .filter(|&(_, depth)| depth > 0)
+                .collect(),
+            last_activity: self.last_activity,
+            crashed: (0..self.nodes.len())
+                .filter(|&v| is_crashed(v))
+                .map(NodeId)
+                .collect(),
+        }
+    }
+
+    /// Message copies queued for `v` in the pending arena.
+    fn queued_at(&self, v: usize) -> usize {
+        self.pending[self.off[v]..self.off[v + 1]]
+            .iter()
+            .filter_map(|s| s.as_ref().map(|&(_, copies)| copies as usize))
+            .sum()
+    }
+
+    /// Rebuilds the per-node pending queues in the legacy
+    /// `Vec<Vec<(Port, Msg)>>` shape (sorted by port, duplicates
+    /// adjacent) for invariant checks. Allocates; only called when
+    /// invariants are registered.
+    pub fn materialize_pending(&self) -> Vec<Vec<(Port, P::Msg)>> {
+        (0..self.nodes.len())
+            .map(|v| {
+                let mut queue = Vec::new();
+                for (p, slot) in self.pending[self.off[v]..self.off[v + 1]]
+                    .iter()
+                    .enumerate()
+                {
+                    if let Some((msg, copies)) = slot {
+                        for _ in 0..*copies {
+                            queue.push((Port(p), msg.clone()));
+                        }
+                    }
+                }
+                queue
+            })
+            .collect()
+    }
+
+    /// Executes a single round: delivers queued messages, steps the
+    /// scheduled automata (sharded across workers when configured), and
+    /// merges the staged sends in node order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CongestViolation`] on a double send and
+    /// [`SimError::BrokenTopology`] on an asymmetric adjacency list.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        let n = self.graph.node_count();
+        // the drained inbox arena becomes the next pending buffer:
+        // zero allocation per round
+        std::mem::swap(&mut self.inbox, &mut self.pending);
+        self.pending_count = 0;
+
+        self.active.clear();
+        if self.first_step || self.config.scheduling == Scheduling::FullScan {
+            self.active.extend(0..n as u32);
+        } else {
+            merge_sorted_dedup(&self.undone, &self.receivers, &mut self.active);
+        }
+        self.first_step = false;
+        self.receivers.clear();
+
+        let shards = self
+            .config
+            .threads
+            .min(self.active.len() / MIN_SHARD_NODES)
+            .max(1);
+        if self.scratch.len() < shards {
+            self.scratch.resize_with(shards, WorkerScratch::default);
+        }
+
+        if shards == 1 {
+            run_shard(
+                self.graph,
+                &self.ids,
+                &self.off,
+                self.injector.as_ref(),
+                self.round,
+                &self.active,
+                0,
+                &mut self.nodes,
+                0,
+                &mut self.inbox,
+                &mut self.scratch[0],
+            );
+        } else {
+            let per = self.active.len().div_ceil(shards);
+            let graph = self.graph;
+            let ids = &self.ids;
+            let off = &self.off;
+            let injector = self.injector.as_ref();
+            let round = self.round;
+            let active = &self.active;
+            let mut nodes_tail: &mut [P] = &mut self.nodes;
+            let mut slots_tail: &mut [Slot<P::Msg>] = &mut self.inbox;
+            let mut nodes_cut = 0usize;
+            let mut slots_cut = 0usize;
+            let mut scratch_iter = self.scratch.iter_mut();
+            std::thread::scope(|scope| {
+                let chunks: Vec<&[u32]> = active.chunks(per).collect();
+                let last = chunks.len() - 1;
+                for (ci, chunk) in chunks.into_iter().enumerate() {
+                    let node_lo = chunk[0] as usize;
+                    let node_hi = *chunk.last().expect("chunks are non-empty") as usize + 1;
+                    let (head_n, tail_n) =
+                        std::mem::take(&mut nodes_tail).split_at_mut(node_hi - nodes_cut);
+                    let shard_nodes = &mut head_n[node_lo - nodes_cut..];
+                    nodes_tail = tail_n;
+                    let (slot_lo, slot_hi) = (off[node_lo], off[node_hi]);
+                    let (head_s, tail_s) =
+                        std::mem::take(&mut slots_tail).split_at_mut(slot_hi - slots_cut);
+                    let shard_slots = &mut head_s[slot_lo - slots_cut..];
+                    slots_tail = tail_s;
+                    nodes_cut = node_hi;
+                    slots_cut = slot_hi;
+                    let scratch = scratch_iter.next().expect("one scratch per shard");
+                    let mut run = move || {
+                        run_shard(
+                            graph,
+                            ids,
+                            off,
+                            injector,
+                            round,
+                            chunk,
+                            node_lo,
+                            shard_nodes,
+                            slot_lo,
+                            shard_slots,
+                            scratch,
+                        )
+                    };
+                    if ci == last {
+                        // the caller's thread works the final shard
+                        // instead of idling in join
+                        run();
+                    } else {
+                        scope.spawn(run);
+                    }
+                }
+            });
+        }
+
+        let round_msgs = self.merge_staged(shards)?;
+
+        {
+            // shards cover ascending node ranges, so concatenating their
+            // undone lists keeps the global list sorted
+            let (undone, scratch) = (&mut self.undone, &mut self.scratch);
+            undone.clear();
+            for s in scratch[..shards].iter_mut() {
+                undone.append(&mut s.undone);
+            }
+        }
+        self.receivers.sort_unstable();
+        if let Some(inj) = &self.injector {
+            self.report.dropped_messages = inj.dropped() + self.crash_lost;
+            self.report.duplicated_messages = inj.duplicated();
+        }
+        self.report.peak_messages_per_round = self.report.peak_messages_per_round.max(round_msgs);
+        if round_msgs > 0 {
+            self.last_activity = self.round;
+        }
+        self.round += 1;
+        self.report.rounds = self.round;
+        Ok(())
+    }
+
+    /// Replays the staged sends of every shard in ascending node order:
+    /// message accounting, fault-injector transmission (the *only* place
+    /// its RNG advances), and arena delivery. Returns the number of
+    /// messages sent this round.
+    fn merge_staged(&mut self, shards: usize) -> Result<u64, SimError> {
+        let round = self.round;
+        // On a double send the sequential loop aborts at the violating
+        // node: its sends and every later node's sends never happen.
+        // Reproduce that cut-off exactly.
+        let cut = self.scratch[..shards]
+            .iter()
+            .filter_map(|s| s.violation)
+            .min_by_key(|&(v, _)| v);
+        let cut_node = cut.map_or(u32::MAX, |(v, _)| v);
+        let mut round_msgs = 0u64;
+        let RoundEngine {
+            graph,
+            rev_port,
+            off,
+            pending,
+            pending_count,
+            recv_mark,
+            receivers,
+            injector,
+            report,
+            scratch,
+            crash_lost,
+            ..
+        } = self;
+        let epoch = round + 1;
+        for s in scratch[..shards].iter_mut() {
+            *crash_lost += s.crash_lost;
+            for (v32, p32, msg) in s.staged.drain(..) {
+                if v32 >= cut_node {
+                    continue;
+                }
+                let (v, p) = (v32 as usize, p32 as usize);
+                let Some(rp) = rev_port[v][p] else {
+                    return Err(SimError::BrokenTopology {
+                        node: NodeId(v),
+                        port: Port(p),
+                    });
+                };
+                let arc = graph.neighbors(NodeId(v))[p];
+                let bits = msg.size_bits();
+                report.messages += 1;
+                report.total_bits += bits;
+                report.max_message_bits = report.max_message_bits.max(bits);
+                round_msgs += 1;
+                let copies = match injector.as_mut() {
+                    None => 1,
+                    Some(inj) => inj.transmit(arc.edge, round).copies.len() as u32,
+                };
+                if copies == 0 {
+                    continue; // dropped on the wire
+                }
+                let to = arc.to.0;
+                let slot = &mut pending[off[to] + rp.0];
+                match slot {
+                    // only fault duplication can target an occupied slot:
+                    // one sender per edge direction per round
+                    Some((_, existing)) => *existing += copies,
+                    None => *slot = Some((msg, copies)),
+                }
+                *pending_count += u64::from(copies);
+                if recv_mark[to] != epoch {
+                    recv_mark[to] = epoch;
+                    receivers.push(to as u32);
+                }
+            }
+        }
+        if let Some((v, port)) = cut {
+            return Err(SimError::CongestViolation {
+                node: NodeId(v as usize),
+                port,
+                round,
+            });
+        }
+        Ok(round_msgs)
+    }
+}
+
+/// The **pre-engine reference loop**, retained verbatim as a benchmarking
+/// baseline: per-node `Vec<Vec<(Port, Msg)>>` inboxes with a per-round
+/// `sort_by_key`, a freshly allocated [`Outbox`] per node per round, and a
+/// full scan of all `n` automata every round. Fault-free only. The engine
+/// must produce byte-identical `(nodes, RunReport)` to this loop; the
+/// `engine` bench and experiment E21 measure the speedup against it.
+pub fn run_reference_loop<P: Protocol>(
+    graph: &Graph,
+    mut nodes: Vec<P>,
+    max_rounds: u64,
+) -> Result<(Vec<P>, RunReport), SimError> {
+    let n = graph.node_count();
+    assert_eq!(nodes.len(), n, "one automaton per node");
+    let ids: Vec<u64> = graph.nodes().map(|v| graph.id_of(v)).collect();
+    let rev = reverse_port_table(graph);
+    let mut inboxes: Vec<Vec<(Port, P::Msg)>> = vec![Vec::new(); n];
+    let mut pending: Vec<Vec<(Port, P::Msg)>> = vec![Vec::new(); n];
+    let mut report = RunReport::default();
+    let mut round = 0u64;
+    while !(pending.iter().all(Vec::is_empty) && nodes.iter().all(Protocol::is_done)) {
+        if round >= max_rounds {
+            return Err(SimError::RoundLimitExceeded {
+                limit: max_rounds,
+                stall: StallReport {
+                    not_done: (0..n)
+                        .filter(|&v| !nodes[v].is_done())
+                        .map(NodeId)
+                        .collect(),
+                    pending: (0..n)
+                        .filter(|&v| !pending[v].is_empty())
+                        .map(|v| (NodeId(v), pending[v].len()))
+                        .collect(),
+                    last_activity: round,
+                    crashed: Vec::new(),
+                },
+            });
+        }
+        std::mem::swap(&mut inboxes, &mut pending);
+        let mut round_msgs = 0u64;
+        for v in 0..n {
+            let mut inbox = std::mem::take(&mut inboxes[v]);
+            inbox.sort_by_key(|&(p, _)| p);
+            let arcs = graph.neighbors(NodeId(v));
+            let ctx = NodeCtx::new(NodeId(v), ids[v], round, arcs, &ids);
+            let mut out = Outbox::with_degree(arcs.len());
+            nodes[v].round(&ctx, &inbox, &mut out);
+            if let Some(port) = out.violation() {
+                return Err(SimError::CongestViolation {
+                    node: NodeId(v),
+                    port,
+                    round,
+                });
+            }
+            for (p, slot) in out.into_slots().into_iter().enumerate() {
+                let Some(msg) = slot else { continue };
+                let Some(rp) = rev[v][p] else {
+                    return Err(SimError::BrokenTopology {
+                        node: NodeId(v),
+                        port: Port(p),
+                    });
+                };
+                let bits = msg.size_bits();
+                report.messages += 1;
+                report.total_bits += bits;
+                report.max_message_bits = report.max_message_bits.max(bits);
+                round_msgs += 1;
+                pending[arcs[p].to.0].push((rp, msg));
+            }
+        }
+        report.peak_messages_per_round = report.peak_messages_per_round.max(round_msgs);
+        round += 1;
+        report.rounds = round;
+    }
+    Ok((nodes, report))
+}
+
+/// Merges two sorted, duplicate-free lists into `out`, deduplicating.
+fn merge_sorted_dedup(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_dedup_interleaves() {
+        let mut out = Vec::new();
+        merge_sorted_dedup(&[1, 3, 5], &[2, 3, 6], &mut out);
+        assert_eq!(out, vec![1, 2, 3, 5, 6]);
+        out.clear();
+        merge_sorted_dedup(&[], &[4, 9], &mut out);
+        assert_eq!(out, vec![4, 9]);
+    }
+
+    #[test]
+    fn fan_out_moves_last_copy() {
+        let mut seen = Vec::new();
+        fan_out(vec![10u64, 20], "msg".to_string(), |tag, m| {
+            seen.push((tag, m));
+        });
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], (10, "msg".to_string()));
+        assert_eq!(seen[1], (20, "msg".to_string()));
+        let mut none = 0;
+        fan_out(Vec::<u64>::new(), "x", |_, _| none += 1);
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn config_env_parsing_defaults() {
+        let cfg = EngineConfig::default();
+        assert_eq!(cfg.threads, 1);
+        assert_eq!(cfg.scheduling, Scheduling::ActiveSet);
+        let cfg = cfg.with_threads(4).with_scheduling(Scheduling::FullScan);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.scheduling, Scheduling::FullScan);
+        assert_eq!(cfg.with_threads(0).threads, 1, "zero clamps to one");
+    }
+}

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod alpha;
+pub mod engine;
 pub mod faults;
 pub mod reliable;
 mod report;
@@ -69,10 +70,11 @@ pub use alpha::{
     run_protocol_alpha, run_protocol_alpha_faulty, run_protocol_alpha_reliable, AlphaReport,
     AlphaSimulator,
 };
+pub use engine::{EngineConfig, Scheduling};
 pub use faults::{FaultInjector, FaultPlan};
 pub use reliable::ReliableConfig;
 pub use report::RunReport;
 pub use sim::{
-    run_protocol, run_protocol_faulty, InvariantView, Message, NodeCtx, Outbox, Port, Protocol,
-    SimError, Simulator, StallReport,
+    run_protocol, run_protocol_faulty, run_protocol_faulty_with, run_protocol_with, InvariantView,
+    Message, NodeCtx, Outbox, Port, Protocol, SimError, Simulator, StallReport,
 };

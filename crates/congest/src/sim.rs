@@ -4,6 +4,7 @@ use std::fmt;
 
 use kdom_graph::graph::{Arc, Graph, NodeId};
 
+use crate::engine::{EngineConfig, RoundEngine};
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::report::RunReport;
 
@@ -11,8 +12,10 @@ use crate::report::RunReport;
 ///
 /// `size_bits` feeds the CONGEST bit accounting; the default (64) models a
 /// constant number of `O(log n)` words. Implementations carrying edge
-/// descriptions (id, id, weight) should override it.
-pub trait Message: Clone + fmt::Debug {
+/// descriptions (id, id, weight) should override it. The `Send` bound
+/// lets the engine's parallel compute phase move messages across worker
+/// shards; protocol messages are plain data, so it is automatic.
+pub trait Message: Clone + fmt::Debug + Send {
     /// Size of this message in bits, for the [`RunReport`] accounting.
     fn size_bits(&self) -> u64 {
         64
@@ -93,19 +96,36 @@ pub struct Outbox<M> {
 }
 
 impl<M: Message> Outbox<M> {
-    pub(crate) fn with_degree(degree: usize) -> Self {
+    /// Creates an empty outbox for a node of the given degree.
+    ///
+    /// Protocol code receives its outbox from the engine; this is public
+    /// for custom executors and benchmark harnesses that drive
+    /// [`Protocol::round`] directly.
+    pub fn with_degree(degree: usize) -> Self {
         Outbox {
             slots: (0..degree).map(|_| None).collect(),
             violation: None,
         }
     }
 
-    pub(crate) fn into_slots(self) -> Vec<Option<M>> {
+    /// Rebuilds an outbox from a recycled slot buffer, clearing it and
+    /// resizing to `degree` — the engine's allocation-free path.
+    pub(crate) fn recycle(mut slots: Vec<Option<M>>, degree: usize) -> Self {
+        slots.clear();
+        slots.resize_with(degree, || None);
+        Outbox {
+            slots,
+            violation: None,
+        }
+    }
+
+    /// Consumes the outbox, yielding the queued message (if any) per port.
+    pub fn into_slots(self) -> Vec<Option<M>> {
         self.slots
     }
 
     /// The first CONGEST violation recorded this round, if any.
-    pub(crate) fn violation(&self) -> Option<Port> {
+    pub fn violation(&self) -> Option<Port> {
         self.violation
     }
 
@@ -147,7 +167,11 @@ impl<M: Message> Outbox<M> {
 }
 
 /// A per-node automaton executed synchronously by the [`Simulator`].
-pub trait Protocol {
+///
+/// The `Send` bound lets the engine shard automata across worker threads
+/// when `KDOM_THREADS` asks for a parallel compute phase; automata are
+/// plain state machines, so it is automatic.
+pub trait Protocol: Send {
     /// The message type of this protocol.
     type Msg: Message;
 
@@ -323,56 +347,38 @@ pub struct InvariantView<'a, P: Protocol> {
 type InvariantFn<P> = Box<dyn FnMut(&InvariantView<'_, P>) -> Result<(), String>>;
 
 /// Deterministic lockstep executor of a [`Protocol`] over a graph.
+///
+/// A thin shell over the shared [`crate::engine`] core: the round loop,
+/// message arena, scheduling, and (optional) parallel compute phase all
+/// live there; this type adds the invariant hooks and the public
+/// surface. Construction via [`Simulator::new`] reads the engine
+/// configuration from the environment (`KDOM_THREADS`, `KDOM_SCHED`);
+/// use [`Simulator::with_config`] to pin it explicitly.
 pub struct Simulator<'g, P: Protocol> {
-    graph: &'g Graph,
-    nodes: Vec<P>,
-    /// Messages to deliver at the next round: `pending[v]` sorted by port.
-    pending: Vec<Vec<(Port, P::Msg)>>,
-    /// Double buffer for `pending`, reused across rounds.
-    inbox_buf: Vec<Vec<(Port, P::Msg)>>,
-    round: u64,
-    report: RunReport,
-    /// Application-level node ids, hoisted out of the round loop.
-    ids: Vec<u64>,
-    /// `rev_port[v][p]`: the port of the edge `(v, p)` at its other
-    /// endpoint, precomputed so delivery is O(1) per message.
-    rev_port: Vec<Vec<Option<Port>>>,
-    injector: Option<FaultInjector>,
+    engine: RoundEngine<'g, P>,
     invariants: Vec<(String, InvariantFn<P>)>,
-    last_activity: u64,
-    /// Messages lost in the inboxes of crashed nodes (counted separately
-    /// from the injector's link-level drops).
-    crash_lost: u64,
 }
 
 impl<'g, P: Protocol> Simulator<'g, P> {
-    /// Creates a simulator with one automaton per node.
+    /// Creates a simulator with one automaton per node, configured from
+    /// the environment ([`EngineConfig::from_env`]).
     ///
     /// # Panics
     ///
     /// Panics if `nodes.len() != graph.node_count()`.
     pub fn new(graph: &'g Graph, nodes: Vec<P>) -> Self {
-        assert_eq!(
-            nodes.len(),
-            graph.node_count(),
-            "one automaton per node required"
-        );
-        let n = graph.node_count();
-        let ids: Vec<u64> = (0..n).map(|v| graph.id_of(NodeId(v))).collect();
-        let rev_port = reverse_port_table(graph);
+        Self::with_config(graph, nodes, EngineConfig::from_env())
+    }
+
+    /// Creates a simulator with an explicit engine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != graph.node_count()`.
+    pub fn with_config(graph: &'g Graph, nodes: Vec<P>, config: EngineConfig) -> Self {
         Simulator {
-            graph,
-            nodes,
-            pending: (0..n).map(|_| Vec::new()).collect(),
-            inbox_buf: (0..n).map(|_| Vec::new()).collect(),
-            round: 0,
-            report: RunReport::default(),
-            ids,
-            rev_port,
-            injector: None,
+            engine: RoundEngine::new(graph, nodes, config, None),
             invariants: Vec::new(),
-            last_activity: 0,
-            crash_lost: 0,
         }
     }
 
@@ -388,9 +394,27 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     ///
     /// Panics if `nodes.len() != graph.node_count()`.
     pub fn with_faults(graph: &'g Graph, nodes: Vec<P>, plan: &FaultPlan) -> Self {
-        let mut sim = Self::new(graph, nodes);
-        sim.injector = Some(FaultInjector::new(plan));
-        sim
+        Self::with_faults_config(graph, nodes, plan, EngineConfig::from_env())
+    }
+
+    /// Like [`Simulator::with_faults`] with an explicit engine
+    /// configuration. The injected fault stream is part of the
+    /// deterministic run: it is identical across thread counts and
+    /// scheduling policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != graph.node_count()`.
+    pub fn with_faults_config(
+        graph: &'g Graph,
+        nodes: Vec<P>,
+        plan: &FaultPlan,
+        config: EngineConfig,
+    ) -> Self {
+        Simulator {
+            engine: RoundEngine::new(graph, nodes, config, Some(FaultInjector::new(plan))),
+            invariants: Vec::new(),
+        }
     }
 
     /// Registers a per-round invariant check, run after every round; a
@@ -406,158 +430,57 @@ impl<'g, P: Protocol> Simulator<'g, P> {
 
     /// The node automata (for output extraction after a run).
     pub fn nodes(&self) -> &[P] {
-        &self.nodes
+        self.engine.nodes()
     }
 
     /// Consumes the simulator, returning the automata and the report.
     pub fn into_parts(self) -> (Vec<P>, RunReport) {
-        (self.nodes, self.report)
+        self.engine.into_parts()
     }
 
     /// Statistics accumulated so far.
     pub fn report(&self) -> &RunReport {
-        &self.report
-    }
-
-    fn is_crashed(&self, v: usize) -> bool {
-        self.injector
-            .as_ref()
-            .is_some_and(|inj| inj.is_crashed(NodeId(v), self.round))
+        self.engine.report()
     }
 
     /// Whether every surviving node is done and no messages are in flight.
     pub fn quiescent(&self) -> bool {
-        self.pending.iter().all(Vec::is_empty)
-            && (0..self.nodes.len()).all(|v| self.nodes[v].is_done() || self.is_crashed(v))
+        self.engine.quiescent()
     }
 
-    fn stall_report(&self) -> StallReport {
-        let crashed: Vec<NodeId> = (0..self.nodes.len())
-            .filter(|&v| self.is_crashed(v))
-            .map(NodeId)
-            .collect();
-        StallReport {
-            not_done: (0..self.nodes.len())
-                .filter(|&v| !self.nodes[v].is_done() && !self.is_crashed(v))
-                .map(NodeId)
-                .collect(),
-            pending: self
-                .pending
-                .iter()
-                .enumerate()
-                .filter(|(_, q)| !q.is_empty())
-                .map(|(v, q)| (NodeId(v), q.len()))
-                .collect(),
-            last_activity: self.last_activity,
-            crashed,
-        }
-    }
-
-    /// Executes a single round: delivers pending messages, steps every
-    /// surviving automaton, and queues the newly sent messages.
+    /// Executes a single round: delivers pending messages, steps the
+    /// scheduled automata, and queues the newly sent messages.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::CongestViolation`] on a double send and
     /// [`SimError::BrokenTopology`] on an asymmetric adjacency list.
     pub fn step(&mut self) -> Result<(), SimError> {
-        let n = self.graph.node_count();
-        // swap in last round's (cleared) buffers: zero allocation per round
-        std::mem::swap(&mut self.pending, &mut self.inbox_buf);
-        let mut round_msgs = 0u64;
-        for v in 0..n {
-            if self.is_crashed(v) {
-                // a crashed node consumes nothing and sends nothing; its
-                // queued arrivals are lost
-                self.crash_lost += self.inbox_buf[v].len() as u64;
-                continue;
-            }
-            let ctx = NodeCtx {
-                node: NodeId(v),
-                id: self.ids[v],
-                round: self.round,
-                arcs: self.graph.neighbors(NodeId(v)),
-                ids: &self.ids,
-            };
-            let mut out = Outbox::with_degree(ctx.degree());
-            self.nodes[v].round(&ctx, &self.inbox_buf[v], &mut out);
-            if let Some(port) = out.violation() {
-                return Err(SimError::CongestViolation {
-                    node: NodeId(v),
-                    port,
-                    round: self.round,
-                });
-            }
-            for (p, slot) in out.into_slots().into_iter().enumerate() {
-                let Some(msg) = slot else { continue };
-                let arc = self.graph.neighbors(NodeId(v))[p];
-                let Some(rp) = self.rev_port[v][p] else {
-                    return Err(SimError::BrokenTopology {
-                        node: NodeId(v),
-                        port: Port(p),
-                    });
-                };
-                let bits = msg.size_bits();
-                self.report.messages += 1;
-                self.report.total_bits += bits;
-                self.report.max_message_bits = self.report.max_message_bits.max(bits);
-                round_msgs += 1;
-                match self.injector.as_mut() {
-                    None => self.pending[arc.to.0].push((rp, msg)),
-                    Some(inj) => {
-                        let tx = inj.transmit(arc.edge, self.round);
-                        for _ in &tx.copies {
-                            self.pending[arc.to.0].push((rp, msg.clone()));
-                        }
-                    }
-                }
-            }
-        }
-        for inbox in &mut self.inbox_buf {
-            inbox.clear();
-        }
-        for inbox in &mut self.pending {
-            inbox.sort_by_key(|(p, _)| *p);
-        }
-        if let Some(inj) = &self.injector {
-            self.report.dropped_messages = inj.dropped() + self.crash_lost;
-            self.report.duplicated_messages = inj.duplicated();
-        }
-        self.report.peak_messages_per_round = self.report.peak_messages_per_round.max(round_msgs);
-        if round_msgs > 0 {
-            self.last_activity = self.round;
-        }
-        self.round += 1;
-        self.report.rounds = self.round;
-        Ok(())
+        self.engine.step()
     }
 
     fn check_invariants(&mut self) -> Result<(), SimError> {
         if self.invariants.is_empty() {
             return Ok(());
         }
-        let mut invariants = std::mem::take(&mut self.invariants);
+        // The arena is flattened; rebuild the legacy per-node queue shape
+        // the invariant API exposes (only paid when checks are registered).
+        let pending = self.engine.materialize_pending();
         let view = InvariantView {
-            round: self.round,
-            nodes: &self.nodes,
-            pending: &self.pending,
+            round: self.engine.round(),
+            nodes: self.engine.nodes(),
+            pending: &pending,
         };
-        let mut failed = None;
-        for (name, check) in &mut invariants {
+        for (name, check) in &mut self.invariants {
             if let Err(detail) = check(&view) {
-                failed = Some(SimError::InvariantViolation {
-                    round: self.round,
+                return Err(SimError::InvariantViolation {
+                    round: view.round,
                     name: name.clone(),
                     detail,
                 });
-                break;
             }
         }
-        self.invariants = invariants;
-        match failed {
-            Some(e) => Err(e),
-            None => Ok(()),
-        }
+        Ok(())
     }
 
     /// Runs until quiescence or until `max_rounds` rounds were executed.
@@ -569,42 +492,23 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// `max_rounds` rounds, and propagates every error of [`Self::step`]
     /// and of registered invariant checks.
     pub fn run(&mut self, max_rounds: u64) -> Result<RunReport, SimError> {
-        while !self.quiescent() {
-            if self.round >= max_rounds {
+        while !self.engine.quiescent() {
+            if self.engine.round() >= max_rounds {
                 return Err(SimError::RoundLimitExceeded {
                     limit: max_rounds,
-                    stall: self.stall_report(),
+                    stall: self.engine.stall_report(),
                 });
             }
-            self.step()?;
+            self.engine.step()?;
             self.check_invariants()?;
         }
-        Ok(self.report.clone())
+        Ok(self.engine.report().clone())
     }
 }
 
-/// Precomputes, for every `(node, port)`, the port the same edge occupies
-/// at the other endpoint (`None` marks a corrupted, asymmetric topology).
-pub(crate) fn reverse_port_table(graph: &Graph) -> Vec<Vec<Option<Port>>> {
-    (0..graph.node_count())
-        .map(|v| {
-            graph
-                .neighbors(NodeId(v))
-                .iter()
-                .map(|arc| {
-                    graph
-                        .neighbors(arc.to)
-                        .iter()
-                        .position(|a| a.edge == arc.edge)
-                        .map(Port)
-                })
-                .collect()
-        })
-        .collect()
-}
-
 /// Convenience: builds a simulator, runs it to quiescence, and returns the
-/// automata plus the report.
+/// automata plus the report. The engine configuration comes from the
+/// environment (`KDOM_THREADS`, `KDOM_SCHED`).
 ///
 /// # Errors
 ///
@@ -614,10 +518,23 @@ pub fn run_protocol<P: Protocol>(
     nodes: Vec<P>,
     max_rounds: u64,
 ) -> Result<(Vec<P>, RunReport), SimError> {
-    let mut sim = Simulator::new(graph, nodes);
+    run_protocol_with(graph, nodes, max_rounds, EngineConfig::from_env())
+}
+
+/// Like [`run_protocol`] with an explicit [`EngineConfig`].
+///
+/// # Errors
+///
+/// Propagates every [`SimError`] of [`Simulator::run`].
+pub fn run_protocol_with<P: Protocol>(
+    graph: &Graph,
+    nodes: Vec<P>,
+    max_rounds: u64,
+    config: EngineConfig,
+) -> Result<(Vec<P>, RunReport), SimError> {
+    let mut sim = Simulator::with_config(graph, nodes, config);
     sim.run(max_rounds)?;
-    let (nodes, report) = sim.into_parts();
-    Ok((nodes, report))
+    Ok(sim.into_parts())
 }
 
 /// Convenience: like [`run_protocol`] but with a [`FaultPlan`] injected.
@@ -631,15 +548,30 @@ pub fn run_protocol_faulty<P: Protocol>(
     plan: &FaultPlan,
     max_rounds: u64,
 ) -> Result<(Vec<P>, RunReport), SimError> {
-    let mut sim = Simulator::with_faults(graph, nodes, plan);
+    run_protocol_faulty_with(graph, nodes, plan, max_rounds, EngineConfig::from_env())
+}
+
+/// Like [`run_protocol_faulty`] with an explicit [`EngineConfig`].
+///
+/// # Errors
+///
+/// Propagates every [`SimError`] of [`Simulator::run`].
+pub fn run_protocol_faulty_with<P: Protocol>(
+    graph: &Graph,
+    nodes: Vec<P>,
+    plan: &FaultPlan,
+    max_rounds: u64,
+    config: EngineConfig,
+) -> Result<(Vec<P>, RunReport), SimError> {
+    let mut sim = Simulator::with_faults_config(graph, nodes, plan, config);
     sim.run(max_rounds)?;
-    let (nodes, report) = sim.into_parts();
-    Ok((nodes, report))
+    Ok(sim.into_parts())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::reverse_port_table;
     use kdom_graph::generators::{path, star, GenConfig};
     use kdom_graph::properties::bfs_distances;
 

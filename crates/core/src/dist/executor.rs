@@ -9,7 +9,7 @@
 //! The recovery tests assert that both backends produce byte-identical
 //! outputs.
 
-use kdom_congest::{FaultPlan, Protocol, RunReport, SimError};
+use kdom_congest::{EngineConfig, FaultPlan, Protocol, RunReport, SimError};
 use kdom_graph::Graph;
 
 /// How a composition's measured protocol stages are executed.
@@ -45,8 +45,28 @@ impl Executor {
         nodes: Vec<P>,
         max_rounds: u64,
     ) -> Result<(Vec<P>, RunReport), SimError> {
+        self.run_configured(g, nodes, max_rounds, EngineConfig::from_env())
+    }
+
+    /// [`Executor::run`] with an explicit round-engine configuration
+    /// (scheduler and worker threads) instead of the
+    /// `KDOM_THREADS`/`KDOM_SCHED` environment defaults. The α backend
+    /// is event-driven rather than round-sharded, so it executes
+    /// single-threaded regardless of `config.threads`; outputs are
+    /// byte-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the simulator's [`SimError`], as [`Executor::run`].
+    pub fn run_configured<P: Protocol>(
+        &self,
+        g: &Graph,
+        nodes: Vec<P>,
+        max_rounds: u64,
+        config: EngineConfig,
+    ) -> Result<(Vec<P>, RunReport), SimError> {
         match self {
-            Executor::Sync => kdom_congest::run_protocol(g, nodes, max_rounds),
+            Executor::Sync => kdom_congest::run_protocol_with(g, nodes, max_rounds, config),
             Executor::ReliableAlpha {
                 seed,
                 max_delay,
@@ -92,6 +112,26 @@ mod tests {
             assert!(nodes.iter().all(|n| n.best == max_id), "{}", exec.label());
             assert!(report.rounds > 0);
         }
+    }
+
+    #[test]
+    fn explicit_engine_configs_agree() {
+        use kdom_congest::Scheduling;
+        let g = Family::Grid.generate(36, 9);
+        let max_id = g.nodes().map(|v| g.id_of(v)).max().unwrap();
+        let mut reports = Vec::new();
+        for (sched, threads) in [(Scheduling::FullScan, 1), (Scheduling::ActiveSet, 4)] {
+            let cfg = EngineConfig::default()
+                .with_scheduling(sched)
+                .with_threads(threads);
+            let nodes = (0..g.node_count()).map(|_| ElectionNode::new()).collect();
+            let (nodes, report) = Executor::Sync
+                .run_configured(&g, nodes, 10_000, cfg)
+                .unwrap();
+            assert!(nodes.iter().all(|n| n.best == max_id));
+            reports.push(report);
+        }
+        assert_eq!(reports[0], reports[1], "configs must be byte-identical");
     }
 
     #[test]

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_parity-0e0f4bd528ea6134.d: tests/engine_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_parity-0e0f4bd528ea6134.rmeta: tests/engine_parity.rs Cargo.toml
+
+tests/engine_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

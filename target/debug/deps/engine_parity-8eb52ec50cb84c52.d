@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_parity-8eb52ec50cb84c52.d: tests/engine_parity.rs
+
+/root/repo/target/debug/deps/engine_parity-8eb52ec50cb84c52: tests/engine_parity.rs
+
+tests/engine_parity.rs:

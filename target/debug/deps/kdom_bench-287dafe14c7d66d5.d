@@ -6,3 +6,5 @@ crates/bench/src/lib.rs:
 crates/bench/src/exps.rs:
 crates/bench/src/harness.rs:
 crates/bench/src/table.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

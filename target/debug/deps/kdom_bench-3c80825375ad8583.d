@@ -8,5 +8,6 @@ crates/bench/src/harness.rs:
 crates/bench/src/table.rs:
 Cargo.toml:
 
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/kdom_congest-3c8c6cb148599211.d: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
+/root/repo/target/debug/deps/kdom_congest-3c8c6cb148599211.d: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/engine.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
 
-/root/repo/target/debug/deps/libkdom_congest-3c8c6cb148599211.rlib: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
+/root/repo/target/debug/deps/libkdom_congest-3c8c6cb148599211.rlib: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/engine.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
 
-/root/repo/target/debug/deps/libkdom_congest-3c8c6cb148599211.rmeta: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
+/root/repo/target/debug/deps/libkdom_congest-3c8c6cb148599211.rmeta: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/engine.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
 
 crates/congest/src/lib.rs:
 crates/congest/src/alpha.rs:
+crates/congest/src/engine.rs:
 crates/congest/src/faults.rs:
 crates/congest/src/reliable.rs:
 crates/congest/src/report.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/kdom_congest-4e7c96037537e1e1.d: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs Cargo.toml
+/root/repo/target/debug/deps/kdom_congest-4e7c96037537e1e1.d: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/engine.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs Cargo.toml
 
-/root/repo/target/debug/deps/libkdom_congest-4e7c96037537e1e1.rmeta: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs Cargo.toml
+/root/repo/target/debug/deps/libkdom_congest-4e7c96037537e1e1.rmeta: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/engine.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs Cargo.toml
 
 crates/congest/src/lib.rs:
 crates/congest/src/alpha.rs:
+crates/congest/src/engine.rs:
 crates/congest/src/faults.rs:
 crates/congest/src/reliable.rs:
 crates/congest/src/report.rs:

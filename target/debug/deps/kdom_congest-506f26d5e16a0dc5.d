@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/kdom_congest-506f26d5e16a0dc5.d: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
+/root/repo/target/debug/deps/kdom_congest-506f26d5e16a0dc5.d: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/engine.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
 
-/root/repo/target/debug/deps/kdom_congest-506f26d5e16a0dc5: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
+/root/repo/target/debug/deps/kdom_congest-506f26d5e16a0dc5: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/engine.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
 
 crates/congest/src/lib.rs:
 crates/congest/src/alpha.rs:
+crates/congest/src/engine.rs:
 crates/congest/src/faults.rs:
 crates/congest/src/reliable.rs:
 crates/congest/src/report.rs:

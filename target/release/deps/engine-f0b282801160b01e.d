@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine-f0b282801160b01e.d: crates/bench/benches/engine.rs
+
+/root/repo/target/release/deps/engine-f0b282801160b01e: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

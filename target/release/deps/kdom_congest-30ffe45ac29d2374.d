@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/kdom_congest-30ffe45ac29d2374.d: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
+/root/repo/target/release/deps/kdom_congest-30ffe45ac29d2374.d: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/engine.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
 
-/root/repo/target/release/deps/libkdom_congest-30ffe45ac29d2374.rlib: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
+/root/repo/target/release/deps/libkdom_congest-30ffe45ac29d2374.rlib: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/engine.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
 
-/root/repo/target/release/deps/libkdom_congest-30ffe45ac29d2374.rmeta: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
+/root/repo/target/release/deps/libkdom_congest-30ffe45ac29d2374.rmeta: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/engine.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
 
 crates/congest/src/lib.rs:
 crates/congest/src/alpha.rs:
+crates/congest/src/engine.rs:
 crates/congest/src/faults.rs:
 crates/congest/src/reliable.rs:
 crates/congest/src/report.rs:

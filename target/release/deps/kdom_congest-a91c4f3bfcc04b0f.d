@@ -1,9 +1,10 @@
-/root/repo/target/release/deps/kdom_congest-a91c4f3bfcc04b0f.d: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
+/root/repo/target/release/deps/kdom_congest-a91c4f3bfcc04b0f.d: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/engine.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
 
-/root/repo/target/release/deps/kdom_congest-a91c4f3bfcc04b0f: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
+/root/repo/target/release/deps/kdom_congest-a91c4f3bfcc04b0f: crates/congest/src/lib.rs crates/congest/src/alpha.rs crates/congest/src/engine.rs crates/congest/src/faults.rs crates/congest/src/reliable.rs crates/congest/src/report.rs crates/congest/src/sim.rs
 
 crates/congest/src/lib.rs:
 crates/congest/src/alpha.rs:
+crates/congest/src/engine.rs:
 crates/congest/src/faults.rs:
 crates/congest/src/reliable.rs:
 crates/congest/src/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mst_race-74b1f91132767656.d: examples/mst_race.rs
+
+/root/repo/target/release/examples/mst_race-74b1f91132767656: examples/mst_race.rs
+
+examples/mst_race.rs:

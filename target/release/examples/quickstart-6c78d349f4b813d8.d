@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6c78d349f4b813d8.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6c78d349f4b813d8: examples/quickstart.rs
+
+examples/quickstart.rs:

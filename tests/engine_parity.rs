@@ -1,0 +1,274 @@
+//! Engine parity: every protocol in the repo must produce **byte-identical**
+//! outputs and identical reports under every scheduler/thread configuration
+//! of the shared round engine, and under reliable-α execution with loss.
+//!
+//! The determinism contract (DESIGN.md §4): staged sends are merged in
+//! node-index order, and the fault injector's RNG is advanced only during
+//! that sequential merge — so `{full-scan, active-set} × {1, 4 threads}`
+//! are observationally one machine. These tests pin that contract for
+//! BFS, election, DiamDOM, BalancedDOM coloring, SimpleMST, the Pipeline
+//! (via Fast-MST), FastDOM_T/G, and Fast-MST.
+
+use kdom::congest::{
+    run_protocol_alpha_reliable, EngineConfig, FaultPlan, Port, Protocol, Scheduling, Simulator,
+};
+use kdom::core::dist::bfs::BfsNode;
+use kdom::core::dist::coloring::{BalancedConfig, BalancedNode};
+use kdom::core::dist::diamdom::run_diamdom;
+use kdom::core::dist::election::ElectionNode;
+use kdom::core::dist::fastdom::{fast_dom_g_distributed, fast_dom_t_distributed};
+use kdom::core::dist::fragments::{run_simple_mst, FragmentNode};
+use kdom::core::fastdom::WithinCluster;
+use kdom::graph::generators::{gnp_connected, path, Family, GenConfig};
+use kdom::graph::tree::RootedTree;
+use kdom::graph::{Graph, NodeId};
+use kdom::mst::fastmst::fast_mst;
+
+/// Every engine configuration the suite must agree across. `n ≥ 128`
+/// graphs make the 4-thread legs genuinely shard (the engine runs inline
+/// below 32 active nodes per shard).
+fn configs() -> Vec<(&'static str, EngineConfig)> {
+    let mut out = Vec::new();
+    for (sname, sched) in [
+        ("full-scan", Scheduling::FullScan),
+        ("active-set", Scheduling::ActiveSet),
+    ] {
+        for threads in [1usize, 4] {
+            let cfg = EngineConfig::default()
+                .with_scheduling(sched)
+                .with_threads(threads);
+            let name: &'static str = match (sname, threads) {
+                ("full-scan", 1) => "full-scan/1t",
+                ("full-scan", _) => "full-scan/4t",
+                (_, 1) => "active-set/1t",
+                (_, _) => "active-set/4t",
+            };
+            out.push((name, cfg));
+        }
+    }
+    out
+}
+
+/// Runs `make_nodes(g)` under every config and asserts the Debug rendering
+/// of the full node vector, the `RunReport`, and the run result are all
+/// byte-identical to the first (full-scan, single-thread) leg.
+fn assert_parity<P, F>(g: &Graph, make_nodes: F, plan: Option<&FaultPlan>, what: &str)
+where
+    P: Protocol + std::fmt::Debug,
+    F: Fn(&Graph) -> Vec<P>,
+{
+    let mut baseline: Option<(String, String, String)> = None;
+    for (name, cfg) in configs() {
+        let mut sim = match plan {
+            Some(p) => Simulator::with_faults_config(g, make_nodes(g), p, cfg),
+            None => Simulator::with_config(g, make_nodes(g), cfg),
+        };
+        let outcome = format!("{:?}", sim.run(50_000));
+        let nodes = format!("{:?}", sim.nodes());
+        let report = format!("{:?}", sim.report());
+        match &baseline {
+            None => baseline = Some((outcome, nodes, report)),
+            Some((o, n, r)) => {
+                assert_eq!(o, &outcome, "{what}: run outcome diverged under {name}");
+                assert_eq!(n, &nodes, "{what}: node states diverged under {name}");
+                assert_eq!(r, &report, "{what}: RunReport diverged under {name}");
+            }
+        }
+    }
+}
+
+fn balanced_nodes(g: &Graph) -> Vec<BalancedNode> {
+    let t = RootedTree::from_graph(g, NodeId(0));
+    let port_to = |v: NodeId, to: NodeId| -> Port {
+        g.neighbors(v)
+            .iter()
+            .position(|e| e.to == to)
+            .map(Port)
+            .expect("tree edge present")
+    };
+    (0..g.node_count())
+        .map(|v| {
+            let v = NodeId(v);
+            BalancedNode::new(BalancedConfig {
+                parent: t.parent(v).map(|p| port_to(v, p)),
+                children: t.children(v).iter().map(|&c| port_to(v, c)).collect(),
+                id_bits: 48,
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn bfs_parity() {
+    for seed in 0..3u64 {
+        let g = gnp_connected(&GenConfig::with_seed(200, seed), 0.04);
+        assert_parity(
+            &g,
+            |g| (0..g.node_count()).map(|v| BfsNode::new(v == 0)).collect(),
+            None,
+            "BFS",
+        );
+    }
+}
+
+#[test]
+fn election_parity() {
+    let g = Family::Grid.generate(196, 5);
+    assert_parity(
+        &g,
+        |g| (0..g.node_count()).map(|_| ElectionNode::new()).collect(),
+        None,
+        "election",
+    );
+}
+
+#[test]
+fn simple_mst_parity() {
+    let g = gnp_connected(&GenConfig::with_seed(160, 9), 0.05);
+    assert_parity(
+        &g,
+        |g| {
+            g.nodes()
+                .map(|v| FragmentNode::new(5, g.id_of(v)))
+                .collect()
+        },
+        None,
+        "SimpleMST",
+    );
+}
+
+#[test]
+fn coloring_parity() {
+    let g = path(&GenConfig::with_seed(200, 9));
+    assert_parity(&g, balanced_nodes, None, "BalancedDOM");
+}
+
+/// The fault stream (drops, duplicates, delays, a mid-run crash) is part
+/// of the determinism contract: the injector RNG advances only in the
+/// sequential merge, so faulty runs are byte-identical too.
+#[test]
+fn fault_injection_parity() {
+    for seed in 0..2u64 {
+        let g = gnp_connected(&GenConfig::with_seed(160, seed), 0.05);
+        let plan = FaultPlan::new(seed ^ 0xD15EA5E)
+            .drop_prob(0.2)
+            .dup_prob(0.1)
+            .max_extra_delay(2)
+            .crash(NodeId(7), 40);
+        assert_parity(
+            &g,
+            |g| (0..g.node_count()).map(|v| BfsNode::new(v == 0)).collect(),
+            Some(&plan),
+            "faulty BFS",
+        );
+        assert_parity(
+            &g,
+            |g| {
+                g.nodes()
+                    .map(|v| FragmentNode::new(4, g.id_of(v)))
+                    .collect()
+            },
+            Some(&plan),
+            "faulty SimpleMST",
+        );
+    }
+}
+
+/// Reliable-α at 20% loss recovers the synchronous outputs exactly, and
+/// two identically-seeded α runs agree on every `AlphaReport` counter.
+#[test]
+fn reliable_alpha_matches_sync() {
+    let g = gnp_connected(&GenConfig::with_seed(130, 4), 0.06);
+    let plan = FaultPlan::new(77).drop_prob(0.2);
+
+    // BFS: depths must match the synchronous run.
+    let mut sync = Simulator::new(&g, (0..130).map(|v| BfsNode::new(v == 0)).collect());
+    sync.run(10_000).expect("sync BFS quiesces");
+    let nodes: Vec<BfsNode> = (0..130).map(|v| BfsNode::new(v == 0)).collect();
+    let (a1, r1) =
+        run_protocol_alpha_reliable(&g, nodes.clone(), 7, 3, &plan, 500_000).expect("α BFS");
+    let (a2, r2) = run_protocol_alpha_reliable(&g, nodes, 7, 3, &plan, 500_000).expect("α BFS");
+    for (v, (a, s)) in a1.iter().zip(sync.nodes()).enumerate() {
+        assert_eq!(a.depth, s.depth, "node {v}");
+    }
+    assert_eq!(
+        format!("{r1:?}"),
+        format!("{r2:?}"),
+        "AlphaReport not deterministic"
+    );
+    assert_eq!(
+        format!("{:?}", a1),
+        format!("{:?}", a2),
+        "α node states not deterministic"
+    );
+
+    // SimpleMST: the fragment forest survives 20% loss byte-identically.
+    let k = 4;
+    let want = run_simple_mst(&g, k);
+    let nodes: Vec<FragmentNode> = g
+        .nodes()
+        .map(|v| FragmentNode::new(k, g.id_of(v)))
+        .collect();
+    let (mst_nodes, _) =
+        run_protocol_alpha_reliable(&g, nodes, 11, 3, &plan, 2_000_000).expect("α SimpleMST");
+    let mut got: Vec<_> = g
+        .nodes()
+        .filter_map(|v| mst_nodes[v.0].parent.map(|p| g.neighbors(v)[p.0].edge))
+        .collect();
+    got.sort_unstable();
+    let mut edges = want.tree_edges.clone();
+    edges.sort_unstable();
+    assert_eq!(got, edges, "α MST fragments diverged from sync");
+}
+
+/// Composed runners (DiamDOM, FastDOM_T/G, Fast-MST with its Pipeline
+/// stage) read the engine configuration from the environment, so this is
+/// the one test that mutates `KDOM_THREADS`/`KDOM_SCHED` — everything
+/// else in the binary uses explicit configs, and Rust runs tests in one
+/// process, so only one env-touching test may exist.
+#[test]
+fn composed_runners_parity_under_env() {
+    let legs = [
+        ("1", "active"),
+        ("4", "active"),
+        ("1", "full"),
+        ("4", "full"),
+    ];
+    let mut baseline: Option<[String; 4]> = None;
+
+    let gd = gnp_connected(&GenConfig::with_seed(150, 3), 0.05);
+    let gt = Family::RandomTree.generate(150, 8);
+    let gg = gnp_connected(&GenConfig::with_seed(140, 6), 0.06);
+
+    for (threads, sched) in legs {
+        std::env::set_var("KDOM_THREADS", threads);
+        std::env::set_var("KDOM_SCHED", sched);
+        let diam = format!("{:?}", run_diamdom(&gd, NodeId(0), 3));
+        let dom_t = format!(
+            "{:?}",
+            fast_dom_t_distributed(&gt, 2, WithinCluster::OptimalDp)
+        );
+        let dom_g = format!(
+            "{:?}",
+            fast_dom_g_distributed(&gg, 3, WithinCluster::DiamDom)
+        );
+        let mst = format!("{:?}", fast_mst(&gg));
+        let got = [diam, dom_t, dom_g, mst];
+        match &baseline {
+            None => baseline = Some(got),
+            Some(want) => {
+                for (i, name) in ["DiamDOM", "FastDOM_T", "FastDOM_G", "Fast-MST"]
+                    .iter()
+                    .enumerate()
+                {
+                    assert_eq!(
+                        want[i], got[i],
+                        "{name} diverged at KDOM_THREADS={threads} KDOM_SCHED={sched}"
+                    );
+                }
+            }
+        }
+    }
+    std::env::remove_var("KDOM_THREADS");
+    std::env::remove_var("KDOM_SCHED");
+}

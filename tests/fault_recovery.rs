@@ -10,7 +10,10 @@
 //! component, and budget exhaustion must produce a structured diagnosis
 //! naming the stuck nodes, never a bare hang.
 
-use kdom::congest::{run_protocol, run_protocol_alpha_reliable, FaultPlan, SimError};
+use kdom::congest::{
+    run_protocol, run_protocol_alpha_reliable, FaultPlan, Message, NodeCtx, Outbox, Protocol,
+    SimError, Simulator,
+};
 use kdom::core::dist::bfs::BfsNode;
 use kdom::core::dist::election::ElectionNode;
 use kdom::core::dist::executor::Executor;
@@ -344,4 +347,55 @@ fn budget_exhaustion_names_stuck_nodes() {
         shown.contains("n3"),
         "diagnosis does not name a stuck node: {shown}"
     );
+}
+
+/// The stall diagnosis counts **queued message copies**, not arena slots:
+/// a duplicated transmission occupies one `(node, port)` slot but is two
+/// deliveries, and the pending-queue depth must say so.
+#[test]
+fn stall_report_counts_duplicated_copies() {
+    #[derive(Clone, Debug)]
+    struct Ping;
+    impl Message for Ping {}
+
+    /// Node 0 broadcasts every round and never finishes; node 1 listens.
+    struct Chatter {
+        origin: bool,
+    }
+    impl Protocol for Chatter {
+        type Msg = Ping;
+        fn round(
+            &mut self,
+            _ctx: &NodeCtx<'_>,
+            _inbox: &[(kdom::congest::Port, Ping)],
+            out: &mut Outbox<Ping>,
+        ) {
+            if self.origin {
+                out.broadcast(Ping);
+            }
+        }
+        fn is_done(&self) -> bool {
+            !self.origin
+        }
+    }
+
+    let g = Family::Path.generate(2, 0);
+    let plan = FaultPlan::new(3).dup_prob(1.0);
+    let nodes = vec![Chatter { origin: true }, Chatter { origin: false }];
+    let mut sim = Simulator::with_faults(&g, nodes, &plan);
+    match sim.run(5).unwrap_err() {
+        SimError::RoundLimitExceeded { ref stall, .. } => {
+            let depth = stall
+                .pending
+                .iter()
+                .find(|(v, _)| *v == NodeId(1))
+                .map(|&(_, d)| d)
+                .expect("node 1 must have a pending queue");
+            assert_eq!(
+                depth, 2,
+                "pending depth must count both copies of the duplicated message: {stall:?}"
+            );
+        }
+        other => panic!("expected RoundLimitExceeded, got {other:?}"),
+    }
 }
