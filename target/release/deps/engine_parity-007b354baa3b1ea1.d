@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_parity-007b354baa3b1ea1.d: tests/engine_parity.rs
+
+/root/repo/target/release/deps/engine_parity-007b354baa3b1ea1: tests/engine_parity.rs
+
+tests/engine_parity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_recovery-e78b66c9e6217bb9.d: tests/fault_recovery.rs
+
+/root/repo/target/release/deps/fault_recovery-e78b66c9e6217bb9: tests/fault_recovery.rs
+
+tests/fault_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zz_review_repro-f303f5e105c1dc88.d: tests/zz_review_repro.rs
+
+/root/repo/target/release/deps/zz_review_repro-f303f5e105c1dc88: tests/zz_review_repro.rs
+
+tests/zz_review_repro.rs:
