@@ -8,7 +8,7 @@
 //! multi-core hosts; on a single core they measure the determinism
 //! overhead instead.
 
-use kdom_bench::harness::{note_rounds, write_engine_json, Criterion};
+use kdom_bench::harness::{check_regression_gate, note_rounds, write_engine_json, Criterion};
 use kdom_bench::{criterion_group, criterion_main};
 use kdom_congest::engine::run_reference_loop;
 use kdom_congest::{EngineConfig, Scheduling, Simulator};
@@ -147,6 +147,8 @@ fn bench_fast_mst(c: &mut Criterion) {
     std::env::remove_var("KDOM_SCHED");
     std::env::remove_var("KDOM_THREADS");
     g.finish();
+    // gate against the committed baseline before replacing it
+    check_regression_gate();
     write_engine_json().expect("BENCH_engine.json written");
 }
 

@@ -91,6 +91,87 @@ pub fn write_engine_json() -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Compares the measurements recorded so far against the **committed**
+/// `BENCH_engine.json` and panics if any shared target got slower beyond
+/// the tolerance. Call this *before* [`write_engine_json`] replaces the
+/// baseline.
+///
+/// Opt-in: runs only when `KDOM_BENCH_GATE=1` (wall-clock comparisons on
+/// an arbitrary dev machine are noise; CI sets the variable on a
+/// dedicated non-smoke job). `KDOM_BENCH_TOLERANCE` sets the allowed
+/// slowdown in percent (default 15). Targets present on only one side
+/// are ignored, so adding or retiring benchmarks never trips the gate.
+pub fn check_regression_gate() {
+    if std::env::var("KDOM_BENCH_GATE").as_deref() != Ok("1") {
+        return;
+    }
+    let tolerance_pct = std::env::var("KDOM_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(15.0);
+    let path = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_engine.json"
+    ));
+    let Ok(baseline) = std::fs::read_to_string(&path) else {
+        eprintln!("bench gate: no committed baseline at {}", path.display());
+        return;
+    };
+    let old = parse_medians(&baseline);
+    let results = RESULTS.lock().unwrap();
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for s in results.iter() {
+        let Some(&was) = old.iter().find(|(n, _)| n == &s.name).map(|(_, m)| m) else {
+            continue;
+        };
+        compared += 1;
+        let allowed = was * (1.0 + tolerance_pct / 100.0);
+        if s.median_secs > allowed {
+            regressions.push(format!(
+                "  {}: {:.6}s -> {:.6}s (+{:.1}%, tolerance {:.0}%)",
+                s.name,
+                was,
+                s.median_secs,
+                (s.median_secs / was - 1.0) * 100.0,
+                tolerance_pct
+            ));
+        }
+    }
+    assert!(
+        regressions.is_empty(),
+        "bench gate: {} of {compared} targets regressed beyond {tolerance_pct}%:\n{}",
+        regressions.len(),
+        regressions.join("\n")
+    );
+    eprintln!("bench gate: {compared} targets within {tolerance_pct}% of the committed baseline");
+}
+
+/// Extracts `(name, median_secs)` pairs from a `BENCH_engine.json`
+/// document — a line-oriented scrape of the fixed format
+/// [`write_engine_json`] emits, so the workspace stays dependency-free.
+fn parse_medians(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(rest) = line.split("\"name\": \"").nth(1) else {
+            continue;
+        };
+        let Some(name) = rest.split('"').next() else {
+            continue;
+        };
+        let Some(med) = rest
+            .split("\"median_secs\": ")
+            .nth(1)
+            .and_then(|m| m.split([',', '}']).next())
+            .and_then(|m| m.trim().parse::<f64>().ok())
+        else {
+            continue;
+        };
+        out.push((name.to_string(), med));
+    }
+    out
+}
+
 /// Top-level harness handle (mirrors `criterion::Criterion`).
 #[derive(Debug, Default)]
 pub struct Criterion {
@@ -282,6 +363,25 @@ mod tests {
             g.finish();
         }
         assert!(runs >= 1);
+    }
+
+    #[test]
+    fn gate_scrapes_the_json_it_writes() {
+        let doc = concat!(
+            "{\n  \"nproc\": 1,\n  \"targets\": [\n",
+            "    {\"name\": \"engine/a/legacy-loop\", \"median_secs\": 0.135995919, ",
+            "\"rounds\": 2001, \"rounds_per_sec\": 14713.7},\n",
+            "    {\"name\": \"engine/b\", \"median_secs\": 0.5}\n",
+            "  ]\n}\n"
+        );
+        let m = parse_medians(doc);
+        assert_eq!(
+            m,
+            vec![
+                ("engine/a/legacy-loop".to_string(), 0.135995919),
+                ("engine/b".to_string(), 0.5),
+            ]
+        );
     }
 
     #[test]

@@ -41,6 +41,20 @@
 //! Measured overheads (report fields): the payload/control message split,
 //! the virtual completion time under random delays, and the fault/
 //! recovery counters.
+//!
+//! # Quiescence fast-forward
+//!
+//! The synchronous engine skips provably-empty rounds explicitly
+//! ([`crate::engine`]); this executor needs no analogue, because its
+//! event queue *is* a "next event time" min-tracker. Execution is a
+//! single `BinaryHeap` of `(virtual_time, seq, event)` covering payload
+//! deliveries, ARQ retransmission timers, and (via the reliable layer's
+//! delay queues) every fault-injected extra delay. Popping the heap jumps
+//! the virtual clock directly to the next event — silent stretches of
+//! virtual time cost nothing by construction, and there is no per-pulse
+//! scan to skip. The counters in [`AlphaReport`] are keyed to events, not
+//! wall ticks, so they are trivially identical to the "unskipped"
+//! execution (no such execution exists to diverge from).
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};

@@ -4,35 +4,52 @@
 //! [`AlphaSimulator`](crate::AlphaSimulator) (synchronizer α) used to carry
 //! their own copies of the round machinery — context construction, outbox
 //! handling, reverse-port delivery. This module owns that machinery once,
-//! rebuilt around three ideas:
+//! rebuilt around four ideas:
 //!
-//! 1. **Active-set scheduling.** Instead of scanning all `n` automata every
-//!    round, the engine steps only nodes that either report `!is_done()` or
-//!    have messages queued. This relies on the [`Protocol`] contract: a
-//!    node that is done and receives nothing does nothing (it may only
-//!    "un-done" itself in response to a message, which puts it back in the
-//!    active set). [`Scheduling::FullScan`] restores the historical
-//!    scan-everything behaviour; the two schedules produce byte-identical
-//!    runs for contract-abiding protocols.
+//! 1. **Wake-driven active sets.** Instead of scanning all `n` automata
+//!    every round, the engine steps only nodes that received a message,
+//!    declared [`Wake::EveryRound`], or whose [`Wake::At`] timer is due.
+//!    This relies on the [`Protocol`] contract ([`Protocol::next_wake`]):
+//!    between its declared wakes, a node with an empty inbox does nothing.
+//!    When the active fraction exceeds [`EngineConfig::dense_pct`] the
+//!    scheduler falls back to a dense `0..n` scan — cheaper than merging
+//!    near-full lists. [`Scheduling::FullScan`] restores the historical
+//!    scan-everything behaviour; all schedules produce byte-identical runs
+//!    for contract-abiding protocols.
 //!
-//! 2. **A flat double-buffered message arena.** Inboxes are CSR-style
-//!    slots indexed by `(node, port)` — one `Option<(msg, copies)>` per
-//!    edge direction, where `copies` counts fault-injected duplicates of
-//!    the same CONGEST message. Delivery is a store, consumption is a
-//!    take, and the per-round `sort_by_key` of the old `Vec<Vec<…>>`
-//!    inboxes disappears because ports *are* the index. `Outbox` slabs are
-//!    pooled per worker, so steady-state rounds allocate nothing.
+//! 2. **Quiescence fast-forward.** The engine tracks in-flight message
+//!    copies, ticking nodes, timer wakes (a lazily-invalidated min-heap),
+//!    and the fault plan's crash schedule. When no message is queued and
+//!    no node ticks, every round up to the next timer/crash event is
+//!    provably empty — [`RoundEngine::fast_forward`] advances the round
+//!    counter there in O(1). An empty round touches nothing but the
+//!    counter, so all [`RunReport`]/`StallReport` fields stay
+//!    byte-identical to the unskipped execution. (The α executor needs no
+//!    analogue: it is event-driven, so its virtual clock already jumps to
+//!    the next delivery.)
 //!
-//! 3. **A deterministically parallel compute phase.** With
+//! 3. **A flat double-buffered message arena with packed staging.**
+//!    Inboxes are CSR-style slots indexed by `(node, port)` — one
+//!    `Option<(msg, copies)>` per edge direction, where `copies` refcounts
+//!    fault-injected duplicates of the same CONGEST message instead of
+//!    deep-cloning them. Sends are staged as packed `u64` metadata words
+//!    (`sender | port | size_bits`) alongside a message slab, so the
+//!    sequential merge reads `size_bits` as a field and replays indices,
+//!    not messages. `Outbox` slabs are pooled per worker; steady-state
+//!    rounds allocate nothing.
+//!
+//! 4. **A deterministically parallel compute phase.** With
 //!    [`EngineConfig::threads`] > 1 the active list is split into
-//!    contiguous node shards and executed under [`std::thread::scope`];
-//!    workers write sends into per-shard staging buffers, and a single
-//!    sequential merge replays the staged sends in ascending node order —
-//!    the exact order the single-threaded loop produces. All shared
-//!    mutable effects (message counters, the fault injector's RNG stream,
-//!    arena stores) happen only in the merge, so a parallel run is
-//!    **byte-identical** to a single-threaded one: same outputs, same
-//!    [`RunReport`], same injected-fault stream. After an error
+//!    contiguous node shards and executed under [`std::thread::scope`] —
+//!    but only when each shard gets at least [`EngineConfig::shard_min`]
+//!    active nodes (spawn overhead dominates tiny rounds). Workers write
+//!    sends into per-shard staging slabs, and a single sequential merge
+//!    replays them in ascending node order — the exact order the
+//!    single-threaded loop produces. All shared mutable effects (message
+//!    counters, the fault injector's RNG stream, arena stores) happen only
+//!    in the merge, so a parallel run is **byte-identical** to a
+//!    single-threaded one: same outputs, same [`RunReport`], same
+//!    injected-fault stream. After an error
 //!    ([`SimError::CongestViolation`] / [`SimError::BrokenTopology`]) the
 //!    reported counters still match the sequential run, but node automata
 //!    beyond the failing node are in an unspecified state (they may have
@@ -40,16 +57,20 @@
 //!    observes that state through the public API.
 //!
 //! Configuration comes from [`EngineConfig`], which the convenience
-//! runners fill from the environment: `KDOM_THREADS` selects the worker
-//! count and `KDOM_SCHED=full` opts back into the full scan.
+//! runners fill from the environment: `KDOM_THREADS`, `KDOM_SCHED`,
+//! `KDOM_FASTFWD`, `KDOM_DENSE_PCT`, and `KDOM_SHARD_MIN`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use kdom_graph::graph::{Graph, NodeId};
 
 use crate::faults::FaultInjector;
 use crate::report::RunReport;
-use crate::sim::{Message, NodeCtx, Outbox, Port, Protocol, SimError, StallReport};
+use crate::sim::{Message, NodeCtx, Outbox, Port, Protocol, SimError, StallReport, Wake};
 
-/// Execution knobs of the round engine: worker threads and scheduling.
+/// Execution knobs of the round engine: worker threads, scheduling,
+/// fast-forward, and the adaptive thresholds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Worker threads for the compute phase. `1` runs everything inline
@@ -58,6 +79,24 @@ pub struct EngineConfig {
     pub threads: usize,
     /// Which nodes are stepped each round.
     pub scheduling: Scheduling,
+    /// Skip provably-empty rounds in O(1) (see [`RoundEngine::fast_forward`]).
+    /// On by default; `KDOM_FASTFWD=0` disables it. No effect under
+    /// [`Scheduling::FullScan`], which promises to step every node every
+    /// round.
+    pub fast_forward: bool,
+    /// Active-fraction percentage at which [`Scheduling::ActiveSet`] falls
+    /// back to a dense `0..n` scan instead of merging near-full lists.
+    /// `0` forces the dense scan every round; values above 300 can never
+    /// trigger (the merged estimate counts each node at most thrice).
+    pub dense_pct: usize,
+    /// Minimum active nodes per worker shard before the compute phase
+    /// splits across threads; below `threads * shard_min` active nodes
+    /// fewer (or no) workers are spawned.
+    pub shard_min: usize,
+    /// Debug-build CONGEST budget: when set, every staged message asserts
+    /// `size_bits() <= bit_budget` (see [`crate::congest_budget`]).
+    /// Release builds ignore it.
+    pub bit_budget: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -65,16 +104,25 @@ impl Default for EngineConfig {
         EngineConfig {
             threads: 1,
             scheduling: Scheduling::ActiveSet,
+            fast_forward: true,
+            dense_pct: 75,
+            shard_min: 1024,
+            bit_budget: None,
         }
     }
 }
 
 impl EngineConfig {
-    /// Reads the configuration from the environment: `KDOM_THREADS` (a
-    /// positive worker count, clamped to 256) and `KDOM_SCHED`
-    /// (`full`/`full-scan` for [`Scheduling::FullScan`]; anything else,
-    /// including unset, selects [`Scheduling::ActiveSet`]).
+    /// Reads the configuration from the environment:
+    ///
+    /// - `KDOM_THREADS`: positive worker count, clamped to 256;
+    /// - `KDOM_SCHED`: `full`/`full-scan` for [`Scheduling::FullScan`];
+    ///   anything else, including unset, selects [`Scheduling::ActiveSet`];
+    /// - `KDOM_FASTFWD`: `0`/`off`/`false`/`no` disables fast-forward;
+    /// - `KDOM_DENSE_PCT`: dense-scan fallback threshold (percent);
+    /// - `KDOM_SHARD_MIN`: minimum active nodes per worker shard.
     pub fn from_env() -> Self {
+        let defaults = EngineConfig::default();
         let threads = std::env::var("KDOM_THREADS")
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
@@ -84,9 +132,26 @@ impl EngineConfig {
             Ok("full") | Ok("full-scan") | Ok("fullscan") => Scheduling::FullScan,
             _ => Scheduling::ActiveSet,
         };
+        let fast_forward = !matches!(
+            std::env::var("KDOM_FASTFWD").as_deref(),
+            Ok("0") | Ok("off") | Ok("false") | Ok("no")
+        );
+        let dense_pct = std::env::var("KDOM_DENSE_PCT")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(defaults.dense_pct);
+        let shard_min = std::env::var("KDOM_SHARD_MIN")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|m| m.max(1))
+            .unwrap_or(defaults.shard_min);
         EngineConfig {
             threads,
             scheduling,
+            fast_forward,
+            dense_pct,
+            shard_min,
+            bit_budget: None,
         }
     }
 
@@ -101,6 +166,30 @@ impl EngineConfig {
         self.scheduling = scheduling;
         self
     }
+
+    /// Returns the config with quiescence fast-forward enabled or not.
+    pub fn with_fast_forward(mut self, on: bool) -> Self {
+        self.fast_forward = on;
+        self
+    }
+
+    /// Returns the config with the dense-scan threshold replaced.
+    pub fn with_dense_pct(mut self, pct: usize) -> Self {
+        self.dense_pct = pct;
+        self
+    }
+
+    /// Returns the config with the minimum shard size replaced.
+    pub fn with_shard_min(mut self, shard_min: usize) -> Self {
+        self.shard_min = shard_min.max(1);
+        self
+    }
+
+    /// Returns the config with a debug-build CONGEST bit budget.
+    pub fn with_bit_budget(mut self, bits: u64) -> Self {
+        self.bit_budget = Some(bits);
+        self
+    }
 }
 
 /// Node-scheduling policy of the engine.
@@ -108,7 +197,9 @@ impl EngineConfig {
 pub enum Scheduling {
     /// Step every automaton every round (the historical behaviour).
     FullScan,
-    /// Step only automata that are not done or have queued messages.
+    /// Step only automata that received a message or whose declared
+    /// [`Wake`] is due, with a dense-scan fallback above
+    /// [`EngineConfig::dense_pct`].
     #[default]
     ActiveSet,
 }
@@ -174,20 +265,57 @@ pub(crate) fn fan_out<T: Clone, E>(tags: Vec<E>, item: T, mut deliver: impl FnMu
 }
 
 /// One arena slot: the message queued on an edge direction plus the
-/// number of identical copies the fault injector delivered.
+/// number of identical copies the fault injector delivered — duplicates
+/// are refcounted here, not deep-cloned.
 type Slot<M> = Option<(M, u32)>;
 
+/// Sentinel for `wake_at`: the node has no timer (done, message-driven,
+/// or crashed).
+const NEVER: u64 = u64::MAX;
+
+/// Width of the packed `size_bits` field in a staged-send metadata word.
+/// The maximum value doubles as a "recompute at merge" sentinel for the
+/// rare message wider than 2^20 - 1 bits.
+const META_BITS: u64 = (1 << 20) - 1;
+
+/// Packs one staged send into a metadata word:
+/// `sender (24 bits) | port (20 bits) | size_bits (20 bits)`.
+/// Capacity limits are asserted once at engine construction.
+#[inline]
+fn pack_meta(sender: u32, port: usize, size_bits: u64) -> u64 {
+    (u64::from(sender) << 40) | ((port as u64) << 20) | size_bits.min(META_BITS)
+}
+
+/// What a stepped node needs next, recorded by the compute phase and
+/// applied to the schedule by the sequential merge.
+#[derive(Clone, Copy, Debug)]
+enum NodeOutcome {
+    /// Crashed: never scheduled by timer again (arrivals still reach it,
+    /// and are lost there).
+    Crashed,
+    /// `is_done()`: unscheduled until a message arrives.
+    Done,
+    /// Not done and ticking: step it next round.
+    Tick,
+    /// Not done, acts only on messages.
+    Sleep,
+    /// Not done, timer-armed for the given future round (> now + 1).
+    Park(u64),
+}
+
 /// Per-worker reusable state: the materialised inbox, the pooled outbox
-/// slab, staged sends, and the shard's contribution to the next round's
-/// bookkeeping.
+/// slab, the packed staged-send slab, and the shard's contribution to the
+/// next round's schedule.
 struct WorkerScratch<M> {
     inbox: Vec<(Port, M)>,
     outbox: Vec<Option<M>>,
-    /// Sends staged for the merge: `(sender, port, message)`, in the
+    /// Packed metadata per staged send (see [`pack_meta`]), in the
     /// shard's (ascending-node) execution order.
-    staged: Vec<(u32, u32, M)>,
-    /// Active nodes of this shard still reporting `!is_done()`.
-    undone: Vec<u32>,
+    staged_meta: Vec<u64>,
+    /// The staged messages, aligned index-for-index with `staged_meta`.
+    staged_msgs: Vec<M>,
+    /// `(node, outcome)` for every node this shard executed.
+    sched: Vec<(u32, NodeOutcome)>,
     /// Queued copies consumed by crashed nodes this round.
     crash_lost: u64,
     /// First CONGEST violation in this shard, by node order.
@@ -199,8 +327,9 @@ impl<M> Default for WorkerScratch<M> {
         WorkerScratch {
             inbox: Vec::new(),
             outbox: Vec::new(),
-            staged: Vec::new(),
-            undone: Vec::new(),
+            staged_meta: Vec::new(),
+            staged_msgs: Vec::new(),
+            sched: Vec::new(),
             crash_lost: 0,
             violation: None,
         }
@@ -211,6 +340,12 @@ impl<M> Default for WorkerScratch<M> {
 /// `slots` are the shard's windows into the automata array and the
 /// inbox arena; `node_base`/`slot_base` translate global indices into
 /// them. Purely local: all cross-node effects are staged in `scratch`.
+///
+/// With `track_wakes` false (full-scan, which steps everyone anyway)
+/// the per-node [`Protocol::next_wake`] query is skipped and `sched`
+/// records only done-status *transitions* against the read-only
+/// `done_flag` snapshot, keeping the sequential schedule merge O(changes)
+/// instead of O(active).
 #[allow(clippy::too_many_arguments)]
 fn run_shard<P: Protocol>(
     graph: &Graph,
@@ -218,6 +353,9 @@ fn run_shard<P: Protocol>(
     off: &[usize],
     injector: Option<&FaultInjector>,
     round: u64,
+    bit_budget: Option<u64>,
+    track_wakes: bool,
+    done_flag: &[bool],
     active: &[u32],
     node_base: usize,
     nodes: &mut [P],
@@ -225,8 +363,9 @@ fn run_shard<P: Protocol>(
     slots: &mut [Slot<P::Msg>],
     scratch: &mut WorkerScratch<P::Msg>,
 ) {
-    scratch.staged.clear();
-    scratch.undone.clear();
+    scratch.staged_meta.clear();
+    scratch.staged_msgs.clear();
+    scratch.sched.clear();
     scratch.crash_lost = 0;
     scratch.violation = None;
     for &v32 in active {
@@ -240,6 +379,9 @@ fn run_shard<P: Protocol>(
                 if let Some((_, copies)) = slot.take() {
                     scratch.crash_lost += u64::from(copies);
                 }
+            }
+            if track_wakes {
+                scratch.sched.push((v32, NodeOutcome::Crashed));
             }
             continue;
         }
@@ -269,18 +411,44 @@ fn run_shard<P: Protocol>(
         }
         for (p, slot) in scratch.outbox.iter_mut().enumerate() {
             if let Some(msg) = slot.take() {
-                scratch.staged.push((v32, p as u32, msg));
+                let bits = msg.size_bits();
+                #[cfg(debug_assertions)]
+                if let Some(budget) = bit_budget {
+                    assert!(
+                        bits <= budget,
+                        "CONGEST budget exceeded: node {v} sent {bits} bits on port {p} \
+                         in round {round} (budget {budget})",
+                    );
+                }
+                #[cfg(not(debug_assertions))]
+                let _ = bit_budget;
+                scratch.staged_meta.push(pack_meta(v32, p, bits));
+                scratch.staged_msgs.push(msg);
             }
         }
-        if !node.is_done() {
-            scratch.undone.push(v32);
+        let now_done = node.is_done();
+        if track_wakes {
+            let outcome = if now_done {
+                NodeOutcome::Done
+            } else {
+                match node.next_wake(round) {
+                    Wake::EveryRound => NodeOutcome::Tick,
+                    Wake::OnMessage => NodeOutcome::Sleep,
+                    Wake::At(r) if r > round + 1 => NodeOutcome::Park(r),
+                    Wake::At(_) => NodeOutcome::Tick,
+                }
+            };
+            scratch.sched.push((v32, outcome));
+        } else if now_done != done_flag[v] {
+            let outcome = if now_done {
+                NodeOutcome::Done
+            } else {
+                NodeOutcome::Tick // un-done: re-count toward quiescence
+            };
+            scratch.sched.push((v32, outcome));
         }
     }
 }
-
-/// Shards smaller than this run inline even when more threads are
-/// configured — spawn overhead would dominate tiny rounds.
-const MIN_SHARD_NODES: usize = 32;
 
 /// The engine proper: owns the automata, the arena, the schedule
 /// bookkeeping, and the accounting shared by every execution mode.
@@ -303,12 +471,32 @@ pub(crate) struct RoundEngine<'g, P: Protocol> {
     pending_count: u64,
     /// Epoch stamps marking nodes already in `receivers` this round.
     recv_mark: Vec<u64>,
-    /// Nodes with queued messages in `pending`, sorted after each step.
+    /// Nodes with queued messages in `pending`, in delivery order
+    /// (sorted on demand when the active list is merged).
     receivers: Vec<u32>,
-    /// Nodes reporting `!is_done()` as of their last execution, sorted.
-    undone: Vec<u32>,
+    /// Not-done nodes that asked to tick next round, sorted.
+    ticking: Vec<u32>,
+    /// Authoritative per-node timer: the round the node asked to wake at,
+    /// or [`NEVER`]. Heap entries disagreeing with this are stale.
+    wake_at: Vec<u64>,
+    /// Timer-armed nodes as `(wake, node)`, lazily invalidated: an entry
+    /// counts only while `wake_at[node] == wake`.
+    parked: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Scratch: valid timers due this round.
+    due: Vec<u32>,
+    /// Scratch for the three-way active-list merge.
+    merged: Vec<u32>,
     /// Scratch for the current round's active list.
     active: Vec<u32>,
+    /// `!is_done()` per node, as of its last execution.
+    done_flag: Vec<bool>,
+    /// Count of not-done nodes not yet excused by a crash — quiescence
+    /// in O(1).
+    live_undone: usize,
+    /// The fault plan's crash schedule, sorted by `(round, node)`, with
+    /// a cursor over the events already applied to `live_undone`.
+    crash_events: Vec<(u64, u32)>,
+    crash_cursor: usize,
     scratch: Vec<WorkerScratch<P::Msg>>,
     /// The first step visits every node regardless of schedule, matching
     /// the historical round-0 behaviour.
@@ -327,7 +515,9 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
     ///
     /// # Panics
     ///
-    /// Panics if `nodes.len() != graph.node_count()`.
+    /// Panics if `nodes.len() != graph.node_count()`, if the graph
+    /// exceeds the packed-metadata capacity (2^24 nodes, 2^20 ports per
+    /// node), or if a node starts beyond a scheduled crash.
     pub fn new(
         graph: &'g Graph,
         nodes: Vec<P>,
@@ -340,19 +530,25 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             "one automaton per node required"
         );
         let n = graph.node_count();
+        assert!(n <= 1 << 24, "packed staging supports up to 2^24 nodes");
         let ids: Vec<u64> = (0..n).map(|v| graph.id_of(NodeId(v))).collect();
         let rev_port = reverse_port_table(graph);
         let mut off = Vec::with_capacity(n + 1);
         let mut acc = 0usize;
         off.push(0);
         for v in 0..n {
-            acc += graph.degree(NodeId(v));
+            let deg = graph.degree(NodeId(v));
+            assert!(deg < 1 << 20, "packed staging supports degrees below 2^20");
+            acc += deg;
             off.push(acc);
         }
-        let undone = (0..n as u32)
-            .filter(|&v| !nodes[v as usize].is_done())
-            .collect();
-        RoundEngine {
+        let done_flag: Vec<bool> = nodes.iter().map(Protocol::is_done).collect();
+        let live_undone = done_flag.iter().filter(|&&d| !d).count();
+        let crash_events = injector
+            .as_ref()
+            .map(FaultInjector::crash_schedule)
+            .unwrap_or_default();
+        let mut engine = RoundEngine {
             graph,
             config,
             nodes,
@@ -364,8 +560,16 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             pending_count: 0,
             recv_mark: vec![0; n],
             receivers: Vec::new(),
-            undone,
+            ticking: Vec::new(),
+            wake_at: vec![NEVER; n],
+            parked: BinaryHeap::new(),
+            due: Vec::new(),
+            merged: Vec::new(),
             active: Vec::new(),
+            done_flag,
+            live_undone,
+            crash_events,
+            crash_cursor: 0,
             scratch: Vec::new(),
             first_step: true,
             round: 0,
@@ -373,7 +577,9 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             injector,
             last_activity: 0,
             crash_lost: 0,
-        }
+        };
+        engine.advance_crash_epoch();
+        engine
     }
 
     pub fn nodes(&self) -> &[P] {
@@ -393,17 +599,70 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
     }
 
     /// Whether every surviving node is done and no messages are queued.
-    /// Crash excuses are evaluated at the *current* round, so a node
-    /// scheduled to crash later still counts as unfinished now.
+    /// Crash excuses are evaluated at the *current* round (the crash
+    /// cursor is advanced with it), so a node scheduled to crash later
+    /// still counts as unfinished now.
     pub fn quiescent(&self) -> bool {
-        self.pending_count == 0
-            && match &self.injector {
-                None => self.undone.is_empty(),
-                Some(inj) => self
-                    .undone
-                    .iter()
-                    .all(|&v| inj.is_crashed(NodeId(v as usize), self.round)),
+        self.pending_count == 0 && self.live_undone == 0
+    }
+
+    /// Applies every crash event scheduled at or before the current
+    /// round: an unfinished node that crashes stops counting toward
+    /// quiescence, and its timer (if any) is cancelled.
+    fn advance_crash_epoch(&mut self) {
+        while let Some(&(at, v)) = self.crash_events.get(self.crash_cursor) {
+            if at > self.round {
+                break;
             }
+            self.crash_cursor += 1;
+            let v = v as usize;
+            if !self.done_flag[v] {
+                self.live_undone -= 1;
+            }
+            self.wake_at[v] = NEVER;
+        }
+    }
+
+    /// Skips ahead over provably-empty rounds: when nothing is queued and
+    /// no node ticks, every round before the next due timer, the next
+    /// scheduled crash, or `limit` executes nothing — advance the round
+    /// counter (and nothing else) straight there. A skipped round is
+    /// byte-identical to stepping it: an empty step only increments the
+    /// counter, so every report field, the fault-injector RNG, and all
+    /// node states are untouched either way.
+    ///
+    /// No-ops under [`Scheduling::FullScan`] (which must step everyone),
+    /// before the first step, or when disabled via the config.
+    pub fn fast_forward(&mut self, limit: u64) {
+        if !self.config.fast_forward
+            || self.config.scheduling == Scheduling::FullScan
+            || self.first_step
+            || self.pending_count != 0
+            || !self.ticking.is_empty()
+        {
+            return;
+        }
+        let mut target = limit;
+        while let Some(&Reverse((wake, v))) = self.parked.peek() {
+            if self.wake_at[v as usize] != wake {
+                self.parked.pop(); // stale entry
+                continue;
+            }
+            if wake <= self.round {
+                return; // a timer is due: the next step is a real one
+            }
+            target = target.min(wake);
+            break;
+        }
+        if let Some(&(at, _)) = self.crash_events.get(self.crash_cursor) {
+            target = target.min(at);
+        }
+        if target <= self.round {
+            return;
+        }
+        self.round = target;
+        self.report.rounds = target;
+        self.advance_crash_epoch();
     }
 
     /// Snapshot of who is stuck: unfinished survivors, per-node queued
@@ -416,20 +675,19 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
                 .as_ref()
                 .is_some_and(|inj| inj.is_crashed(NodeId(v), round))
         };
+        let mut pending: Vec<(NodeId, usize)> = self
+            .receivers
+            .iter()
+            .map(|&v| (NodeId(v as usize), self.queued_at(v as usize)))
+            .filter(|&(_, depth)| depth > 0)
+            .collect();
+        pending.sort_unstable_by_key(|&(v, _)| v.0);
         StallReport {
-            not_done: self
-                .undone
-                .iter()
-                .map(|&v| v as usize)
-                .filter(|&v| !is_crashed(v))
+            not_done: (0..self.nodes.len())
+                .filter(|&v| !self.done_flag[v] && !is_crashed(v))
                 .map(NodeId)
                 .collect(),
-            pending: self
-                .receivers
-                .iter()
-                .map(|&v| (NodeId(v as usize), self.queued_at(v as usize)))
-                .filter(|&(_, depth)| depth > 0)
-                .collect(),
+            pending,
             last_activity: self.last_activity,
             crashed: (0..self.nodes.len())
                 .filter(|&v| is_crashed(v))
@@ -484,11 +742,34 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
         std::mem::swap(&mut self.inbox, &mut self.pending);
         self.pending_count = 0;
 
+        // pop timers due this round; stale entries (superseded wakes)
+        // are discarded here, valid ones join the active list
+        self.due.clear();
+        while let Some(&Reverse((wake, v))) = self.parked.peek() {
+            if wake > self.round {
+                break;
+            }
+            self.parked.pop();
+            if self.wake_at[v as usize] == wake {
+                self.due.push(v);
+            }
+        }
+
         self.active.clear();
-        if self.first_step || self.config.scheduling == Scheduling::FullScan {
+        let estimate = self.ticking.len() + self.due.len() + self.receivers.len();
+        if self.first_step
+            || self.config.scheduling == Scheduling::FullScan
+            || estimate * 100 >= n.saturating_mul(self.config.dense_pct)
+        {
+            // dense fallback: when most nodes are active anyway, the
+            // 0..n scan beats merging near-full sorted lists
             self.active.extend(0..n as u32);
         } else {
-            merge_sorted_dedup(&self.undone, &self.receivers, &mut self.active);
+            self.due.sort_unstable();
+            self.receivers.sort_unstable();
+            self.merged.clear();
+            merge_sorted_dedup(&self.ticking, &self.due, &mut self.merged);
+            merge_sorted_dedup(&self.merged, &self.receivers, &mut self.active);
         }
         self.first_step = false;
         self.receivers.clear();
@@ -496,12 +777,13 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
         let shards = self
             .config
             .threads
-            .min(self.active.len() / MIN_SHARD_NODES)
+            .min(self.active.len() / self.config.shard_min.max(1))
             .max(1);
         if self.scratch.len() < shards {
             self.scratch.resize_with(shards, WorkerScratch::default);
         }
 
+        let track_wakes = self.config.scheduling == Scheduling::ActiveSet;
         if shards == 1 {
             run_shard(
                 self.graph,
@@ -509,6 +791,9 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
                 &self.off,
                 self.injector.as_ref(),
                 self.round,
+                self.config.bit_budget,
+                track_wakes,
+                &self.done_flag,
                 &self.active,
                 0,
                 &mut self.nodes,
@@ -523,6 +808,8 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             let off = &self.off;
             let injector = self.injector.as_ref();
             let round = self.round;
+            let bit_budget = self.config.bit_budget;
+            let done_flag = &self.done_flag;
             let active = &self.active;
             let mut nodes_tail: &mut [P] = &mut self.nodes;
             let mut slots_tail: &mut [Slot<P::Msg>] = &mut self.inbox;
@@ -554,6 +841,9 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
                             off,
                             injector,
                             round,
+                            bit_budget,
+                            track_wakes,
+                            done_flag,
                             chunk,
                             node_lo,
                             shard_nodes,
@@ -574,17 +864,8 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
         }
 
         let round_msgs = self.merge_staged(shards)?;
+        self.apply_schedule(shards);
 
-        {
-            // shards cover ascending node ranges, so concatenating their
-            // undone lists keeps the global list sorted
-            let (undone, scratch) = (&mut self.undone, &mut self.scratch);
-            undone.clear();
-            for s in scratch[..shards].iter_mut() {
-                undone.append(&mut s.undone);
-            }
-        }
-        self.receivers.sort_unstable();
         if let Some(inj) = &self.injector {
             self.report.dropped_messages = inj.dropped() + self.crash_lost;
             self.report.duplicated_messages = inj.duplicated();
@@ -595,13 +876,72 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
         }
         self.round += 1;
         self.report.rounds = self.round;
+        self.advance_crash_epoch();
         Ok(())
     }
 
+    /// Folds the shards' per-node outcomes into next round's schedule:
+    /// the ticking list, the timer heap, and the O(1) quiescence counter.
+    /// Shards cover ascending node ranges, so concatenation keeps
+    /// `ticking` sorted.
+    fn apply_schedule(&mut self, shards: usize) {
+        let next = self.round + 1;
+        let RoundEngine {
+            scratch,
+            ticking,
+            wake_at,
+            parked,
+            done_flag,
+            live_undone,
+            ..
+        } = self;
+        ticking.clear();
+        for s in scratch[..shards].iter_mut() {
+            for (v32, outcome) in s.sched.drain(..) {
+                let v = v32 as usize;
+                match outcome {
+                    NodeOutcome::Crashed => wake_at[v] = NEVER,
+                    NodeOutcome::Done => {
+                        if !done_flag[v] {
+                            done_flag[v] = true;
+                            *live_undone -= 1;
+                        }
+                        wake_at[v] = NEVER;
+                    }
+                    NodeOutcome::Tick | NodeOutcome::Sleep | NodeOutcome::Park(_) => {
+                        if done_flag[v] {
+                            // un-done: a message re-activated the node
+                            done_flag[v] = false;
+                            *live_undone += 1;
+                        }
+                        match outcome {
+                            NodeOutcome::Tick => {
+                                wake_at[v] = next;
+                                ticking.push(v32);
+                            }
+                            NodeOutcome::Sleep => wake_at[v] = NEVER,
+                            NodeOutcome::Park(r) => {
+                                // skip the push when the heap already
+                                // holds this exact wake — re-parking at
+                                // an unchanged timer is free
+                                if wake_at[v] != r {
+                                    wake_at[v] = r;
+                                    parked.push(Reverse((r, v32)));
+                                }
+                            }
+                            _ => unreachable!(),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Replays the staged sends of every shard in ascending node order:
-    /// message accounting, fault-injector transmission (the *only* place
-    /// its RNG advances), and arena delivery. Returns the number of
-    /// messages sent this round.
+    /// message accounting (`size_bits` read from the packed metadata
+    /// word), fault-injector transmission (the *only* place its RNG
+    /// advances), and arena delivery. Returns the number of messages
+    /// sent this round.
     fn merge_staged(&mut self, shards: usize) -> Result<u64, SimError> {
         let round = self.round;
         // On a double send the sequential loop aborts at the violating
@@ -630,11 +970,12 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
         let epoch = round + 1;
         for s in scratch[..shards].iter_mut() {
             *crash_lost += s.crash_lost;
-            for (v32, p32, msg) in s.staged.drain(..) {
+            for (meta, msg) in s.staged_meta.drain(..).zip(s.staged_msgs.drain(..)) {
+                let v32 = (meta >> 40) as u32;
                 if v32 >= cut_node {
                     continue;
                 }
-                let (v, p) = (v32 as usize, p32 as usize);
+                let (v, p) = (v32 as usize, ((meta >> 20) & 0xF_FFFF) as usize);
                 let Some(rp) = rev_port[v][p] else {
                     return Err(SimError::BrokenTopology {
                         node: NodeId(v),
@@ -642,7 +983,13 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
                     });
                 };
                 let arc = graph.neighbors(NodeId(v))[p];
-                let bits = msg.size_bits();
+                let field = meta & META_BITS;
+                let bits = if field == META_BITS {
+                    msg.size_bits() // wider than the packed field
+                } else {
+                    field
+                };
+                debug_assert_eq!(bits, msg.size_bits(), "packed word out of sync");
                 report.messages += 1;
                 report.total_bits += bits;
                 report.max_message_bits = report.max_message_bits.max(bits);
@@ -813,9 +1160,41 @@ mod tests {
         let cfg = EngineConfig::default();
         assert_eq!(cfg.threads, 1);
         assert_eq!(cfg.scheduling, Scheduling::ActiveSet);
-        let cfg = cfg.with_threads(4).with_scheduling(Scheduling::FullScan);
+        assert!(cfg.fast_forward);
+        assert_eq!(cfg.dense_pct, 75);
+        assert_eq!(cfg.shard_min, 1024);
+        assert_eq!(cfg.bit_budget, None);
+        let cfg = cfg
+            .with_threads(4)
+            .with_scheduling(Scheduling::FullScan)
+            .with_fast_forward(false)
+            .with_dense_pct(50)
+            .with_shard_min(32)
+            .with_bit_budget(96);
         assert_eq!(cfg.threads, 4);
         assert_eq!(cfg.scheduling, Scheduling::FullScan);
+        assert!(!cfg.fast_forward);
+        assert_eq!(cfg.dense_pct, 50);
+        assert_eq!(cfg.shard_min, 32);
+        assert_eq!(cfg.bit_budget, Some(96));
         assert_eq!(cfg.with_threads(0).threads, 1, "zero clamps to one");
+        assert_eq!(cfg.with_shard_min(0).shard_min, 1, "zero clamps to one");
+    }
+
+    #[test]
+    fn packed_meta_round_trips() {
+        for (v, p, bits) in [
+            (0u32, 0usize, 0u64),
+            (7, 19, 144),
+            ((1 << 24) - 1, (1 << 20) - 1, META_BITS - 1),
+        ] {
+            let w = pack_meta(v, p, bits);
+            assert_eq!((w >> 40) as u32, v);
+            assert_eq!(((w >> 20) & 0xF_FFFF) as usize, p);
+            assert_eq!(w & META_BITS, bits);
+        }
+        // oversized messages collapse into the recompute sentinel
+        let w = pack_meta(3, 1, META_BITS + 999);
+        assert_eq!(w & META_BITS, META_BITS);
     }
 }

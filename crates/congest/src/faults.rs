@@ -217,6 +217,19 @@ impl FaultInjector {
         self.crash_at.get(&node.0).copied()
     }
 
+    /// Every scheduled crash as `(round, node)`, sorted. The round
+    /// engine consumes this as a static event queue so quiescence
+    /// horizons can be computed without polling each node's crash time.
+    pub(crate) fn crash_schedule(&self) -> Vec<(u64, u32)> {
+        let mut events: Vec<(u64, u32)> = self
+            .crash_at
+            .iter()
+            .map(|(&node, &at)| (at, node as u32))
+            .collect();
+        events.sort_unstable();
+        events
+    }
+
     /// Whether `edge` is inside a down-interval at `now`.
     pub fn link_is_down(&self, edge: EdgeId, now: u64) -> bool {
         self.downs

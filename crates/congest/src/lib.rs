@@ -75,6 +75,7 @@ pub use faults::{FaultInjector, FaultPlan};
 pub use reliable::ReliableConfig;
 pub use report::RunReport;
 pub use sim::{
-    run_protocol, run_protocol_faulty, run_protocol_faulty_with, run_protocol_with, InvariantView,
-    Message, NodeCtx, Outbox, Port, Protocol, SimError, Simulator, StallReport,
+    congest_budget, run_protocol, run_protocol_faulty, run_protocol_faulty_with, run_protocol_with,
+    InvariantView, Message, NodeCtx, Outbox, Port, Protocol, SimError, Simulator, StallReport,
+    Wake, CONGEST_WORD_BITS,
 };

@@ -22,6 +22,25 @@ pub trait Message: Clone + fmt::Debug + Send {
     }
 }
 
+/// Bits in one CONGEST word under this repo's conventions: node ids and
+/// edge weights are `u64` values below 2^48, so a "`O(log n)`-bit word"
+/// is 48 bits.
+pub const CONGEST_WORD_BITS: u64 = 48;
+
+/// The CONGEST bit budget of a message carrying `words` `O(log n)`-bit
+/// fields — `words * 48` under this repo's id/weight conventions.
+///
+/// Pass the result to
+/// [`EngineConfig::with_bit_budget`](crate::engine::EngineConfig::with_bit_budget)
+/// to make debug builds assert that every
+/// sent message respects the bound, or compare it against
+/// [`RunReport::max_message_bits`](crate::RunReport) after a run. The
+/// widest message in the repo is the pipeline's edge descriptor:
+/// `(id, id, weight)` = `congest_budget(3)` = 144 bits.
+pub const fn congest_budget(words: u64) -> u64 {
+    words * CONGEST_WORD_BITS
+}
+
 /// The local port (index into a node's adjacency list) an edge occupies.
 ///
 /// Ports are the only way a node refers to its incident edges, mirroring
@@ -166,6 +185,23 @@ impl<M: Message> Outbox<M> {
     }
 }
 
+/// When a node next needs to be stepped, as promised by
+/// [`Protocol::next_wake`].
+///
+/// The engine uses this to *skip* rounds in which provably nothing can
+/// happen: a round in which no messages are due and no node is ticking or
+/// timer-armed advances the round counter in O(1) instead of scanning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Wake {
+    /// Step me every round (the conservative default — always correct).
+    EveryRound,
+    /// I act spontaneously no earlier than round `r`; until then I only
+    /// need to be stepped when a message arrives.
+    At(u64),
+    /// I act only in response to messages; never wake me on a timer.
+    OnMessage,
+}
+
 /// A per-node automaton executed synchronously by the [`Simulator`].
 ///
 /// The `Send` bound lets the engine shard automata across worker threads
@@ -191,6 +227,23 @@ pub trait Protocol: Send {
     /// *and* no messages are in flight; a node may "un-done" itself if a
     /// later message re-activates it.
     fn is_done(&self) -> bool;
+
+    /// Declares when this node next needs to run, queried after each of
+    /// its executions (with `now` = the round that just ran). The engine
+    /// uses the answer both to shrink the per-round active set and to
+    /// fast-forward over globally silent stretches.
+    ///
+    /// **Contract:** for every round `r` strictly between `now` and the
+    /// promised wake, executing [`Protocol::round`] with an empty inbox
+    /// must be a no-op (no sends, no observable state change, same
+    /// `is_done`). Message arrivals always override the promise — a node
+    /// is stepped whenever something was delivered to it, whatever it
+    /// returned here. Returning a *superset* of the rounds a node acts in
+    /// (e.g. [`Wake::EveryRound`], the default) is always safe; returning
+    /// too few rounds silently skips protocol actions.
+    fn next_wake(&self, _now: u64) -> Wake {
+        Wake::EveryRound
+    }
 }
 
 /// Diagnostic snapshot attached to stall-style errors: which nodes are
@@ -485,6 +538,13 @@ impl<'g, P: Protocol> Simulator<'g, P> {
 
     /// Runs until quiescence or until `max_rounds` rounds were executed.
     ///
+    /// When quiescence fast-forward is enabled ([`EngineConfig`], the
+    /// default) and no invariant hooks are registered, stretches of rounds
+    /// in which no message is due and no node is ticking are skipped in
+    /// O(1) — the [`RunReport`] and any [`StallReport`] are byte-identical
+    /// to the unskipped execution. Invariant hooks observe every round, so
+    /// registering one disables the skip.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::RoundLimitExceeded`] (with a [`StallReport`]
@@ -492,7 +552,19 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// `max_rounds` rounds, and propagates every error of [`Self::step`]
     /// and of registered invariant checks.
     pub fn run(&mut self, max_rounds: u64) -> Result<RunReport, SimError> {
-        while !self.engine.quiescent() {
+        let fast_forward = self.invariants.is_empty();
+        loop {
+            if self.engine.quiescent() {
+                break;
+            }
+            if fast_forward {
+                self.engine.fast_forward(max_rounds);
+                // the jump may have landed on a crash that excuses the
+                // last unfinished nodes
+                if self.engine.quiescent() {
+                    break;
+                }
+            }
             if self.engine.round() >= max_rounds {
                 return Err(SimError::RoundLimitExceeded {
                     limit: max_rounds,

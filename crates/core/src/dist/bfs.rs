@@ -7,7 +7,7 @@
 //! node knows its parent port, its depth, and its child ports — the
 //! substrate Procedure `Initialize` and `Pipeline` build on.
 
-use kdom_congest::{Message, NodeCtx, Outbox, Port, Protocol};
+use kdom_congest::{Message, NodeCtx, Outbox, Port, Protocol, Wake};
 use kdom_graph::{Graph, NodeId};
 
 /// BFS protocol messages.
@@ -105,6 +105,12 @@ impl Protocol for BfsNode {
 
     fn is_done(&self) -> bool {
         self.depth.is_some() && self.forwarded
+    }
+
+    fn next_wake(&self, _now: u64) -> Wake {
+        // purely message-driven: the root's spontaneous send happens in
+        // round 0, which the engine always executes for every node
+        Wake::OnMessage
     }
 }
 

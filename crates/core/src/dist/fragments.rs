@@ -18,7 +18,7 @@
 //! cross-checked for exact structural equality against the sequential
 //! reference in [`crate::fragments`].
 
-use kdom_congest::{Message, NodeCtx, Outbox, Port, Protocol, RunReport};
+use kdom_congest::{Message, NodeCtx, Outbox, Port, Protocol, RunReport, Wake};
 use kdom_graph::{EdgeId, Graph, NodeId};
 
 use crate::logstar::ceil_log2;
@@ -355,6 +355,39 @@ impl Protocol for FragmentNode {
 
     fn is_done(&self) -> bool {
         self.done
+    }
+
+    fn next_wake(&self, now: u64) -> Wake {
+        // The schedule is fixed: a node acts spontaneously only at the
+        // phase reset (t = 0) and the fixed slots of the current phase;
+        // everything else is a reaction to an arrival (which wakes the
+        // node regardless, after which the promise is recomputed — so
+        // slots gated on state a message may change, like the
+        // probe-depth convergecast slot, are re-added as soon as that
+        // state exists).
+        let Some((i, t)) = self.locate(now) else {
+            return Wake::OnMessage; // past the schedule: done
+        };
+        let b = 1u64 << i;
+        let phase_start = now - t;
+        let mwoe_slot = match self.probe_depth {
+            Some(d) => 3 * b + 4 + (b - u64::from(d).min(b)),
+            None => u64::MAX,
+        };
+        let slots = [
+            2 * b + 2, // root announces activity
+            3 * b + 3, // universal fragment-id exchange
+            3 * b + 4, // edge classification
+            mwoe_slot, // depth-scheduled MWOE convergecast
+            4 * b + 5, // root launches the transfer
+            5 * b + 6, // MWOE endpoint connects
+            5 * b + 7, // connect resolution + done transition
+        ];
+        match slots.iter().filter(|&&s| s > t && s != u64::MAX).min() {
+            Some(&s) => Wake::At(phase_start + s),
+            // nothing left in this phase: wake at t = 0 of the next
+            None => Wake::At(phase_start + window(i)),
+        }
     }
 }
 

@@ -26,7 +26,7 @@
 
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
-use kdom_congest::{Message, NodeCtx, Outbox, Port, Protocol, RunReport};
+use kdom_congest::{Message, NodeCtx, Outbox, Port, Protocol, RunReport, Wake};
 use kdom_graph::{Graph, NodeId};
 
 use kdom_core::dist::bfs::run_bfs;
@@ -339,6 +339,44 @@ impl Protocol for PipelineNode {
             self.result.is_some() && self.downcast_done
         } else {
             self.terminated && self.downcast_done
+        }
+    }
+
+    fn next_wake(&self, _now: u64) -> Wake {
+        if !self.started {
+            // the start gate is re-evaluated from round 2 on; its inputs
+            // (heard_from / active_children) only change on arrivals, so
+            // a node whose gate would already pass wakes exactly at the
+            // gate round and everyone else waits for a message
+            let gate = if self.cfg.barrier {
+                self.active_children.is_empty()
+            } else {
+                self.cfg
+                    .children
+                    .iter()
+                    .all(|c| self.heard_from.contains(c))
+            };
+            return if gate { Wake::At(2) } else { Wake::OnMessage };
+        }
+        if self.is_root() {
+            // collecting: the queue is drained on every execution, so an
+            // empty-inbox round is a no-op until a child sends; once the
+            // result exists the downcast streams one edge per round
+            return if self.result.is_some() {
+                Wake::EveryRound
+            } else {
+                Wake::OnMessage
+            };
+        }
+        if !self.terminated {
+            return Wake::EveryRound; // one upcast per pulse
+        }
+        // terminated: still forwarding the result stream?
+        if self.result_cursor < self.downcast.len() || (self.sdone_received && !self.downcast_done)
+        {
+            Wake::EveryRound
+        } else {
+            Wake::OnMessage
         }
     }
 }

@@ -10,7 +10,8 @@
 //! (via Fast-MST), FastDOM_T/G, and Fast-MST.
 
 use kdom::congest::{
-    run_protocol_alpha_reliable, EngineConfig, FaultPlan, Port, Protocol, Scheduling, Simulator,
+    run_protocol_alpha_reliable, EngineConfig, FaultPlan, Message, NodeCtx, Outbox, Port, Protocol,
+    Scheduling, Simulator, Wake,
 };
 use kdom::core::dist::bfs::BfsNode;
 use kdom::core::dist::coloring::{BalancedConfig, BalancedNode};
@@ -24,29 +25,38 @@ use kdom::graph::tree::RootedTree;
 use kdom::graph::{Graph, NodeId};
 use kdom::mst::fastmst::fast_mst;
 
-/// Every engine configuration the suite must agree across. `n ≥ 128`
-/// graphs make the 4-thread legs genuinely shard (the engine runs inline
-/// below 32 active nodes per shard).
+/// Every engine configuration the suite must agree across: both
+/// schedulers, 1 vs 4 threads, fast-forward on vs off, and a forced
+/// dense-scan leg. `with_shard_min(32)` lowers the parallel-split
+/// threshold (the default is 1024) so the `n ≥ 128` graphs here make the
+/// 4-thread legs genuinely shard; `with_dense_pct(0)` forces the
+/// adaptive dense fallback on every round.
 fn configs() -> Vec<(&'static str, EngineConfig)> {
-    let mut out = Vec::new();
-    for (sname, sched) in [
-        ("full-scan", Scheduling::FullScan),
-        ("active-set", Scheduling::ActiveSet),
-    ] {
-        for threads in [1usize, 4] {
-            let cfg = EngineConfig::default()
-                .with_scheduling(sched)
-                .with_threads(threads);
-            let name: &'static str = match (sname, threads) {
-                ("full-scan", 1) => "full-scan/1t",
-                ("full-scan", _) => "full-scan/4t",
-                (_, 1) => "active-set/1t",
-                (_, _) => "active-set/4t",
-            };
-            out.push((name, cfg));
-        }
-    }
-    out
+    let base = EngineConfig::default().with_shard_min(32);
+    vec![
+        (
+            "full-scan/1t",
+            base.with_scheduling(Scheduling::FullScan).with_threads(1),
+        ),
+        (
+            "full-scan/4t",
+            base.with_scheduling(Scheduling::FullScan).with_threads(4),
+        ),
+        ("active-set/1t", base.with_threads(1)),
+        ("active-set/4t", base.with_threads(4)),
+        (
+            "active-set/1t/no-ff",
+            base.with_threads(1).with_fast_forward(false),
+        ),
+        (
+            "active-set/4t/no-ff",
+            base.with_threads(4).with_fast_forward(false),
+        ),
+        (
+            "active-set/1t/dense",
+            base.with_threads(1).with_dense_pct(0),
+        ),
+    ]
 }
 
 /// Runs `make_nodes(g)` under every config and asserts the Debug rendering
@@ -143,6 +153,89 @@ fn coloring_parity() {
     assert_parity(&g, balanced_nodes, None, "BalancedDOM");
 }
 
+#[derive(Clone, Debug)]
+struct Tok;
+impl Message for Tok {}
+
+/// A relay with long silent countdown phases: each node receives the
+/// token, arms a timer `gap` rounds out ([`Wake::At`]), and only then
+/// forwards it. Almost every round of the run is globally silent — the
+/// worst case for a scanning scheduler and the best case for
+/// fast-forward, which must nevertheless reproduce the identical report.
+#[derive(Debug)]
+struct Countdown {
+    origin: bool,
+    gap: u64,
+    from: Option<Port>,
+    fire_at: Option<u64>,
+    fired: bool,
+}
+
+impl Protocol for Countdown {
+    type Msg = Tok;
+
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Port, Tok)], out: &mut Outbox<Tok>) {
+        if self.origin && ctx.round == 0 {
+            out.broadcast(Tok);
+            self.fired = true;
+            return;
+        }
+        if !self.fired && self.fire_at.is_none() {
+            if let Some(&(p, _)) = inbox.first() {
+                self.from = Some(p);
+                self.fire_at = Some(ctx.round + self.gap);
+            }
+        }
+        if let Some(r) = self.fire_at {
+            if !self.fired && ctx.round >= r {
+                self.fired = true;
+                for q in ctx.ports() {
+                    if Some(q) != self.from {
+                        out.send(q, Tok);
+                    }
+                }
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.fired
+    }
+
+    fn next_wake(&self, _now: u64) -> Wake {
+        match self.fire_at {
+            Some(r) if !self.fired => Wake::At(r),
+            _ => Wake::OnMessage,
+        }
+    }
+}
+
+/// Fast-forward must skip the countdown gaps without perturbing a single
+/// counter: ~`n · gap` rounds of which only ~`n` carry a message.
+#[test]
+fn countdown_parity_across_fast_forward() {
+    let g = path(&GenConfig::with_seed(64, 2));
+    let gap = 37;
+    let make = |g: &Graph| {
+        (0..g.node_count())
+            .map(|v| Countdown {
+                origin: v == 0,
+                gap,
+                from: None,
+                fire_at: None,
+                fired: false,
+            })
+            .collect()
+    };
+    assert_parity(&g, make, None, "countdown relay");
+    // sanity: the run really is dominated by silent gaps
+    let mut sim = Simulator::with_config(&g, make(&g), EngineConfig::default());
+    let report = sim.run(50_000).expect("relay quiesces");
+    assert!(report.rounds >= 63 * gap, "rounds {}", report.rounds);
+    // one forward per node except the far endpoint
+    assert_eq!(report.messages, 63);
+}
+
 /// The fault stream (drops, duplicates, delays, a mid-run crash) is part
 /// of the determinism contract: the injector RNG advances only in the
 /// sequential merge, so faulty runs are byte-identical too.
@@ -181,9 +274,20 @@ fn reliable_alpha_matches_sync() {
     let g = gnp_connected(&GenConfig::with_seed(130, 4), 0.06);
     let plan = FaultPlan::new(77).drop_prob(0.2);
 
-    // BFS: depths must match the synchronous run.
+    // BFS: depths must match the synchronous run (fast-forward on and off).
     let mut sync = Simulator::new(&g, (0..130).map(|v| BfsNode::new(v == 0)).collect());
     sync.run(10_000).expect("sync BFS quiesces");
+    let mut sync_noff = Simulator::with_config(
+        &g,
+        (0..130).map(|v| BfsNode::new(v == 0)).collect(),
+        EngineConfig::default().with_fast_forward(false),
+    );
+    sync_noff.run(10_000).expect("sync BFS quiesces");
+    assert_eq!(
+        format!("{:?}", (sync.nodes(), sync.report())),
+        format!("{:?}", (sync_noff.nodes(), sync_noff.report())),
+        "fast-forward changed the synchronous baseline"
+    );
     let nodes: Vec<BfsNode> = (0..130).map(|v| BfsNode::new(v == 0)).collect();
     let (a1, r1) =
         run_protocol_alpha_reliable(&g, nodes.clone(), 7, 3, &plan, 500_000).expect("α BFS");
@@ -223,16 +327,18 @@ fn reliable_alpha_matches_sync() {
 
 /// Composed runners (DiamDOM, FastDOM_T/G, Fast-MST with its Pipeline
 /// stage) read the engine configuration from the environment, so this is
-/// the one test that mutates `KDOM_THREADS`/`KDOM_SCHED` — everything
-/// else in the binary uses explicit configs, and Rust runs tests in one
-/// process, so only one env-touching test may exist.
+/// the one test that mutates `KDOM_THREADS`/`KDOM_SCHED`/`KDOM_FASTFWD`
+/// — everything else in the binary uses explicit configs, and Rust runs
+/// tests in one process, so only one env-touching test may exist.
 #[test]
 fn composed_runners_parity_under_env() {
     let legs = [
-        ("1", "active"),
-        ("4", "active"),
-        ("1", "full"),
-        ("4", "full"),
+        ("1", "active", "1"),
+        ("4", "active", "1"),
+        ("1", "full", "1"),
+        ("4", "full", "1"),
+        ("1", "active", "0"),
+        ("4", "active", "0"),
     ];
     let mut baseline: Option<[String; 4]> = None;
 
@@ -240,9 +346,10 @@ fn composed_runners_parity_under_env() {
     let gt = Family::RandomTree.generate(150, 8);
     let gg = gnp_connected(&GenConfig::with_seed(140, 6), 0.06);
 
-    for (threads, sched) in legs {
+    for (threads, sched, fastfwd) in legs {
         std::env::set_var("KDOM_THREADS", threads);
         std::env::set_var("KDOM_SCHED", sched);
+        std::env::set_var("KDOM_FASTFWD", fastfwd);
         let diam = format!("{:?}", run_diamdom(&gd, NodeId(0), 3));
         let dom_t = format!(
             "{:?}",
@@ -263,7 +370,8 @@ fn composed_runners_parity_under_env() {
                 {
                     assert_eq!(
                         want[i], got[i],
-                        "{name} diverged at KDOM_THREADS={threads} KDOM_SCHED={sched}"
+                        "{name} diverged at KDOM_THREADS={threads} \
+                         KDOM_SCHED={sched} KDOM_FASTFWD={fastfwd}"
                     );
                 }
             }
@@ -271,4 +379,5 @@ fn composed_runners_parity_under_env() {
     }
     std::env::remove_var("KDOM_THREADS");
     std::env::remove_var("KDOM_SCHED");
+    std::env::remove_var("KDOM_FASTFWD");
 }

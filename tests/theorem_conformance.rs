@@ -1,9 +1,10 @@
 //! One test per numbered claim of the paper, in the paper's order — the
 //! machine-checked version of the EXPERIMENTS.md summary table.
 
+use kdom::congest::{congest_budget, EngineConfig, Simulator};
 use kdom::core::dist::coloring::cv_schedule;
 use kdom::core::dist::diamdom::run_diamdom;
-use kdom::core::dist::fragments::{run_simple_mst, schedule_end};
+use kdom::core::dist::fragments::{run_simple_mst, schedule_end, FragmentNode};
 use kdom::core::fastdom::{fast_dom_g, fast_dom_t, WithinCluster};
 use kdom::core::partition::dom_partition;
 use kdom::core::verify::{
@@ -138,4 +139,45 @@ fn theorem_5_6_fast_mst() {
     assert_eq!(fast.stalls, 0);
     let pd = kdom::mst::baselines::phase_doubling_mst(&g);
     assert!(fast.total_rounds() < pd.rounds);
+}
+
+/// The CONGEST discipline (§1.2) — messages carry O(log n) bits. Every
+/// message in the repo fits a constant number of 48-bit words; the widest
+/// is Fast-MST's pipelined edge descriptor `(id, id, weight)` = 3 words,
+/// pinned here via the engine's measured `max_message_bits`.
+#[test]
+fn congest_budget_bounds_fast_mst_messages() {
+    assert_eq!(congest_budget(3), 144);
+    let g = Family::Gnp.generate(400, SEED);
+    let fast = fast_mst(&g);
+    assert_eq!(fast.pipeline_report.max_message_bits, congest_budget(3));
+
+    // debug builds can enforce the budget per send, inside the engine:
+    // SimpleMST's widest frame (the depth probe, 80 bits) fits 2 words
+    let nodes: Vec<FragmentNode> = g
+        .nodes()
+        .map(|v| FragmentNode::new(3, g.id_of(v)))
+        .collect();
+    let mut sim = Simulator::with_config(
+        &g,
+        nodes,
+        EngineConfig::default().with_bit_budget(congest_budget(2)),
+    );
+    let report = sim.run(10_000).expect("SimpleMST quiesces");
+    assert!(report.max_message_bits <= congest_budget(2));
+}
+
+/// The per-send budget assert trips in debug builds on the first message
+/// wider than the configured budget.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "CONGEST budget exceeded")]
+fn congest_budget_assert_trips() {
+    let g = Family::Path.generate(8, SEED);
+    let nodes: Vec<FragmentNode> = g
+        .nodes()
+        .map(|v| FragmentNode::new(3, g.id_of(v)))
+        .collect();
+    let mut sim = Simulator::with_config(&g, nodes, EngineConfig::default().with_bit_budget(16));
+    let _ = sim.run(10_000);
 }
