@@ -57,11 +57,23 @@ pub fn note_rounds(name: &str, rounds: u64) {
 /// Writes every recorded measurement to `BENCH_engine.json` at the repo
 /// root: per-target median wall-clock seconds, plus rounds/second where
 /// [`note_rounds`] was called. Returns the path written.
+///
+/// This file is the regression-gate baseline
+/// ([`check_regression_gate`]), so only the engine bench — whose target
+/// names the gate matches on — may call this. Everything else (the e21
+/// experiment) goes through [`write_json`] with its own file name;
+/// history shows why: e21 runs inside `cargo test` via the quick-suite
+/// test and used to silently replace the committed baseline with
+/// targets the gate never matches, turning the gate into a vacuous
+/// pass.
 pub fn write_engine_json() -> std::io::Result<PathBuf> {
-    let path = PathBuf::from(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../BENCH_engine.json"
-    ));
+    write_json("BENCH_engine.json")
+}
+
+/// Writes every recorded measurement to `file_name` at the repo root in
+/// the `BENCH_engine.json` format. Returns the path written.
+pub fn write_json(file_name: &str) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join(file_name);
     let results = RESULTS.lock().unwrap();
     let nproc = std::thread::available_parallelism().map_or(0, usize::from);
     let mut out = String::from("{\n");
@@ -92,15 +104,25 @@ pub fn write_engine_json() -> std::io::Result<PathBuf> {
 }
 
 /// Compares the measurements recorded so far against the **committed**
-/// `BENCH_engine.json` and panics if any shared target got slower beyond
-/// the tolerance. Call this *before* [`write_engine_json`] replaces the
-/// baseline.
+/// `BENCH_engine.json` and panics if any shared engine target got slower
+/// beyond the tolerance. Call this *before* [`write_engine_json`]
+/// replaces the baseline.
 ///
-/// Opt-in: runs only when `KDOM_BENCH_GATE=1` (wall-clock comparisons on
-/// an arbitrary dev machine are noise; CI sets the variable on a
+/// The comparison is **machine-relative**: the `legacy-loop` legs (the
+/// frozen pre-engine reference loop, re-measured in this very run) serve
+/// as a speed probe for the current host. Each baseline median is scaled
+/// by the median `fresh / baseline` ratio over the shared legacy-loop
+/// legs before comparing, so a runner 3× slower than the machine that
+/// committed the baseline does not fail spuriously — and a faster runner
+/// does not mask a real regression.
+///
+/// Opt-in: runs only when `KDOM_BENCH_GATE=1` (CI sets the variable on a
 /// dedicated non-smoke job). `KDOM_BENCH_TOLERANCE` sets the allowed
-/// slowdown in percent (default 15). Targets present on only one side
-/// are ignored, so adding or retiring benchmarks never trips the gate.
+/// calibrated slowdown in percent (default 15). Targets present on only
+/// one side are ignored, so adding or retiring benchmarks never trips
+/// the gate — but with the gate on, an unreadable baseline, a stale
+/// scrape that parses nothing, or zero shared targets is an error, never
+/// a silent pass.
 pub fn check_regression_gate() {
     if std::env::var("KDOM_BENCH_GATE").as_deref() != Ok("1") {
         return;
@@ -113,38 +135,73 @@ pub fn check_regression_gate() {
         env!("CARGO_MANIFEST_DIR"),
         "/../../BENCH_engine.json"
     ));
-    let Ok(baseline) = std::fs::read_to_string(&path) else {
-        eprintln!("bench gate: no committed baseline at {}", path.display());
-        return;
-    };
+    let baseline = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "bench gate: cannot read committed baseline {}: {e}",
+            path.display()
+        )
+    });
     let old = parse_medians(&baseline);
+    assert!(
+        !old.is_empty(),
+        "bench gate: parsed no medians from {} — did write_engine_json's format drift?",
+        path.display()
+    );
     let results = RESULTS.lock().unwrap();
+
+    // calibrate: how fast is this machine relative to the one that
+    // committed the baseline, per the shared legacy-loop legs?
+    let is_probe = |name: &str| name.ends_with("/legacy-loop");
+    let mut ratios: Vec<f64> = results
+        .iter()
+        .filter(|s| is_probe(&s.name) && s.median_secs > 0.0)
+        .filter_map(|s| {
+            old.iter()
+                .find(|(n, m)| n == &s.name && *m > 0.0)
+                .map(|(_, m)| s.median_secs / m)
+        })
+        .collect();
+    assert!(
+        !ratios.is_empty(),
+        "bench gate: no shared legacy-loop probe targets to calibrate against"
+    );
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let speed = ratios[ratios.len() / 2];
+
     let mut regressions = Vec::new();
     let mut compared = 0usize;
-    for s in results.iter() {
+    for s in results.iter().filter(|s| !is_probe(&s.name)) {
         let Some(&was) = old.iter().find(|(n, _)| n == &s.name).map(|(_, m)| m) else {
             continue;
         };
         compared += 1;
-        let allowed = was * (1.0 + tolerance_pct / 100.0);
+        let allowed = was * speed * (1.0 + tolerance_pct / 100.0);
         if s.median_secs > allowed {
             regressions.push(format!(
-                "  {}: {:.6}s -> {:.6}s (+{:.1}%, tolerance {:.0}%)",
+                "  {}: {:.6}s -> {:.6}s (+{:.1}% machine-adjusted, tolerance {:.0}%)",
                 s.name,
-                was,
+                was * speed,
                 s.median_secs,
-                (s.median_secs / was - 1.0) * 100.0,
+                (s.median_secs / (was * speed) - 1.0) * 100.0,
                 tolerance_pct
             ));
         }
     }
     assert!(
+        compared > 0,
+        "bench gate: no engine targets shared with the committed baseline — gate would be vacuous"
+    );
+    assert!(
         regressions.is_empty(),
-        "bench gate: {} of {compared} targets regressed beyond {tolerance_pct}%:\n{}",
+        "bench gate: {} of {compared} targets regressed beyond {tolerance_pct}% (machine speed factor {speed:.3}):\n{}",
         regressions.len(),
         regressions.join("\n")
     );
-    eprintln!("bench gate: {compared} targets within {tolerance_pct}% of the committed baseline");
+    eprintln!(
+        "bench gate: {compared} targets within {tolerance_pct}% of the committed baseline \
+         (machine speed factor {speed:.3} from {} legacy-loop probes)",
+        ratios.len()
+    );
 }
 
 /// Extracts `(name, median_secs)` pairs from a `BENCH_engine.json`

@@ -766,6 +766,14 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             self.active.extend(0..n as u32);
         } else {
             self.due.sort_unstable();
+            // the heap can briefly hold two *valid* entries for the same
+            // (round, node): an entry goes stale when a message-woken node
+            // changes its promise, and a later re-park at the original
+            // round both re-validates it and pushes a fresh copy. Both pop
+            // into `due`; merge_sorted_dedup only dedups across its two
+            // inputs, so dedup within the list here or the node is stepped
+            // twice in one round.
+            self.due.dedup();
             self.receivers.sort_unstable();
             self.merged.clear();
             merge_sorted_dedup(&self.ticking, &self.due, &mut self.merged);

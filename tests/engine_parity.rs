@@ -236,6 +236,128 @@ fn countdown_parity_across_fast_forward() {
     assert_eq!(report.messages, 63);
 }
 
+/// A node engineered to leave **two valid entries for the same (round,
+/// node) pair** in the timer heap: it parks at round 10, is woken by a
+/// message and moves its promise to round 3 (the round-10 heap entry goes
+/// stale), then at round 3 re-parks at round 10 — which re-validates the
+/// stale entry *and* pushes a fresh one. At round 10 both entries are
+/// valid, so a scheduler that doesn't dedup its due-timer list steps the
+/// node twice in one round: the wake-slot action runs twice (double state
+/// mutation) and the second send silently merges into the occupied arena
+/// slot as a fault-style duplicate copy.
+#[derive(Debug)]
+struct Repark {
+    role: ReparkRole,
+    phase: u8,
+    from: Option<Port>,
+    wake: Option<u64>,
+    fires: u32,
+}
+
+#[derive(Debug, PartialEq)]
+enum ReparkRole {
+    /// Node 0: sends one token at round 0, then only absorbs replies.
+    Driver,
+    /// Node 1: runs the park / deviate / re-park sequence above.
+    Target,
+    /// Everyone else: permanently done, message-driven.
+    Idle,
+}
+
+impl Repark {
+    fn new(v: usize) -> Self {
+        Repark {
+            role: match v {
+                0 => ReparkRole::Driver,
+                1 => ReparkRole::Target,
+                _ => ReparkRole::Idle,
+            },
+            phase: 0,
+            from: None,
+            wake: None,
+            fires: 0,
+        }
+    }
+}
+
+impl Protocol for Repark {
+    type Msg = Tok;
+
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Port, Tok)], out: &mut Outbox<Tok>) {
+        match self.role {
+            ReparkRole::Driver => {
+                if ctx.round == 0 {
+                    out.send(Port(0), Tok);
+                }
+            }
+            ReparkRole::Target => match self.phase {
+                0 => {
+                    // round 0: park at round 10
+                    self.wake = Some(10);
+                    self.phase = 1;
+                }
+                1 => {
+                    if let Some(&(p, _)) = inbox.first() {
+                        // woken by the driver's token: deviate to round 3
+                        self.from = Some(p);
+                        self.wake = Some(3);
+                        self.phase = 2;
+                    }
+                }
+                2 => {
+                    if ctx.round == 3 {
+                        // re-park at round 10: the stale heap entry from
+                        // phase 0 is valid again alongside the new one
+                        self.wake = Some(10);
+                        self.phase = 3;
+                    }
+                }
+                _ => {
+                    if ctx.round == 10 {
+                        // the wake-slot action: any double-step doubles
+                        // `fires` and duplicates the reply on the wire
+                        self.fires += 1;
+                        out.send(self.from.expect("token seen"), Tok);
+                        self.wake = None;
+                    }
+                }
+            },
+            ReparkRole::Idle => {}
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        match self.role {
+            ReparkRole::Driver => true,
+            ReparkRole::Target => self.fires > 0,
+            ReparkRole::Idle => true,
+        }
+    }
+
+    fn next_wake(&self, _now: u64) -> Wake {
+        match self.wake {
+            Some(r) => Wake::At(r),
+            None => Wake::OnMessage,
+        }
+    }
+}
+
+/// Regression test: duplicate valid timer entries must not step a node
+/// twice in one round (due-timer dedup in the active-set scheduler).
+#[test]
+fn duplicate_timer_entries_step_once() {
+    let g = path(&GenConfig::with_seed(8, 0));
+    let make = |g: &Graph| (0..g.node_count()).map(Repark::new).collect::<Vec<_>>();
+    assert_parity(&g, make, None, "re-park relay");
+
+    // the double-step corrupts these directly: fires becomes 2 and the
+    // duplicated reply inflates the message count from 2 to 3
+    let mut sim = Simulator::with_config(&g, make(&g), EngineConfig::default());
+    let report = sim.run(50_000).expect("re-park relay quiesces");
+    assert_eq!(sim.nodes()[1].fires, 1, "target stepped twice at its wake");
+    assert_eq!(report.messages, 2, "reply duplicated on the wire");
+}
+
 /// The fault stream (drops, duplicates, delays, a mid-run crash) is part
 /// of the determinism contract: the injector RNG advances only in the
 /// sequential merge, so faulty runs are byte-identical too.
