@@ -8,7 +8,10 @@
 //! multi-core hosts; on a single core they measure the determinism
 //! overhead instead.
 
-use kdom_bench::harness::{check_regression_gate, note_rounds, write_engine_json, Criterion};
+use kdom_bench::harness::{
+    check_regression_gate, note_extra, note_rounds, record_measurement, write_engine_json,
+    Criterion, Histogram,
+};
 use kdom_bench::{criterion_group, criterion_main};
 use kdom_congest::engine::run_reference_loop;
 use kdom_congest::{EngineConfig, Scheduling, Simulator};
@@ -114,6 +117,49 @@ fn bench_simple_mst(c: &mut Criterion) {
     g.finish();
 }
 
+/// Wall-time-per-simulated-round profile of the SimpleMST grid target:
+/// hand-drives the engine (fast-forward, then one timed [`Simulator::step`]
+/// per executed round) so the per-round latency distribution and the
+/// quiescence fast-forward accounting are visible next to the aggregate
+/// medians. Skipped rounds never enter the histogram — they cost O(1)
+/// total — so "rounds/second" can be read honestly: executed rounds are
+/// timed, skipped rounds are counted.
+fn profile_round_walltime(_c: &mut Criterion) {
+    let graph = Family::Grid.generate(2500, 7);
+    let k = 25;
+    let name = "engine/round_profile/simple_mst_grid2500";
+    let mut sim = Simulator::with_config(
+        &graph,
+        mst_nodes(&graph, k),
+        engine_cfg(Scheduling::ActiveSet, 1),
+    );
+    let mut hist = Histogram::new();
+    let start = std::time::Instant::now();
+    while !sim.quiescent() {
+        sim.fast_forward(1_000_000);
+        if sim.quiescent() {
+            break;
+        }
+        let t = std::time::Instant::now();
+        sim.step().expect("profiled run quiesces");
+        hist.record(t.elapsed());
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let (ff_jumps, ff_skipped) = sim.fast_forward_stats();
+    let simulated = sim.report().rounds;
+    eprintln!("group engine/round_profile");
+    eprintln!("  simple_mst_grid2500/active-set-1t: {}", hist.summary());
+    eprintln!(
+        "    executed {} of {simulated} simulated rounds; fast-forward skipped {ff_skipped} in {ff_jumps} jumps",
+        hist.count()
+    );
+    record_measurement(name, wall);
+    note_rounds(name, simulated);
+    note_extra(name, "executed_rounds", hist.count());
+    note_extra(name, "ff_skipped_rounds", ff_skipped);
+    note_extra(name, "ff_jumps", ff_jumps);
+}
+
 /// The full Fast-MST composition on a ~1600-node grid; the composed
 /// runners read `KDOM_THREADS`/`KDOM_SCHED` from the environment, so the
 /// legs are driven through env vars (the bench harness is one thread, so
@@ -152,5 +198,11 @@ fn bench_fast_mst(c: &mut Criterion) {
     write_engine_json().expect("BENCH_engine.json written");
 }
 
-criterion_group!(benches, bench_bfs_path, bench_simple_mst, bench_fast_mst);
+criterion_group!(
+    benches,
+    bench_bfs_path,
+    bench_simple_mst,
+    profile_round_walltime,
+    bench_fast_mst
+);
 criterion_main!(benches);

@@ -22,6 +22,7 @@ struct Sample {
     name: String,
     median_secs: f64,
     rounds: Option<u64>,
+    extras: Vec<(String, u64)>,
 }
 
 /// Every benchmark run in this process, in execution order. Smoke runs
@@ -42,6 +43,7 @@ fn record(name: &str, median_secs: f64) {
         name: name.to_string(),
         median_secs,
         rounds: None,
+        extras: Vec::new(),
     });
 }
 
@@ -51,6 +53,17 @@ pub fn note_rounds(name: &str, rounds: u64) {
     let mut r = RESULTS.lock().unwrap();
     if let Some(s) = r.iter_mut().rev().find(|s| s.name == name) {
         s.rounds = Some(rounds);
+    }
+}
+
+/// Attaches an auxiliary integer field (e.g. fast-forward skip counts)
+/// to the most recent measurement named `name`. Extras are appended
+/// after `median_secs` in the JSON row; [`check_regression_gate`]'s
+/// line scrape ignores them, so they never affect the gate.
+pub fn note_extra(name: &str, key: &str, value: u64) {
+    let mut r = RESULTS.lock().unwrap();
+    if let Some(s) = r.iter_mut().rev().find(|s| s.name == name) {
+        s.extras.push((key.to_string(), value));
     }
 }
 
@@ -90,6 +103,10 @@ pub fn write_json(file_name: &str) -> std::io::Result<PathBuf> {
             out.push_str(&format!(
                 ", \"rounds\": {rounds}, \"rounds_per_sec\": {rps:.1}"
             ));
+        }
+        for (key, value) in &s.extras {
+            let key = key.replace('\\', "\\\\").replace('"', "\\\"");
+            out.push_str(&format!(", \"{key}\": {value}"));
         }
         out.push('}');
         if i + 1 < results.len() {
@@ -227,6 +244,111 @@ fn parse_medians(json: &str) -> Vec<(String, f64)> {
         out.push((name.to_string(), med));
     }
     out
+}
+
+/// A log₂-bucketed latency histogram (nanosecond resolution).
+///
+/// Used by the engine bench's round profiler to summarize wall time per
+/// *simulated* round: each executed round's duration lands in bucket
+/// `⌊log₂ ns⌋`, so six decades of latency fit in 64 counters with no
+/// allocation on the hot path. Rounds skipped wholesale by quiescence
+/// fast-forward never reach the histogram — report them separately via
+/// the engine's fast-forward counters.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    total_ns: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            total_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: Duration) {
+        let ns = d.as_nanos().max(1);
+        let bucket = (127 - ns.leading_zeros()).min(63) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total_ns += ns;
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded durations.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(u64::try_from(self.total_ns).unwrap_or(u64::MAX))
+    }
+
+    /// Upper bound of the bucket containing the q-th quantile
+    /// (`0.0 ≤ q ≤ 1.0`), or zero for an empty histogram. Bucketed, so
+    /// accurate to within a factor of 2 — plenty for spotting a
+    /// heavy-tailed round distribution.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if b >= 63 { u64::MAX } else { 1u64 << (b + 1) };
+                return Duration::from_nanos(upper);
+            }
+        }
+        Duration::from_nanos(u64::MAX)
+    }
+
+    /// A one-line summary: count, mean, and bucketed p50/p90/p99.
+    pub fn summary(&self) -> String {
+        if self.count == 0 {
+            return "0 samples".to_string();
+        }
+        let mean = Duration::from_secs_f64(self.total_ns as f64 / 1e9 / self.count as f64);
+        format!(
+            "{} samples, mean {} / p50 ≤{} / p90 ≤{} / p99 ≤{}",
+            self.count,
+            fmt_dur(mean),
+            fmt_dur(self.quantile(0.5)),
+            fmt_dur(self.quantile(0.9)),
+            fmt_dur(self.quantile(0.99)),
+        )
+    }
+
+    /// Non-empty buckets as `(lower_ns, upper_ns, count)` rows.
+    pub fn rows(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| {
+                let lo = 1u64 << b;
+                let hi = if b >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (b + 1)) - 1
+                };
+                (lo, hi, c)
+            })
+            .collect()
+    }
 }
 
 /// Top-level harness handle (mirrors `criterion::Criterion`).
@@ -439,6 +561,37 @@ mod tests {
                 ("engine/b".to_string(), 0.5),
             ]
         );
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2_and_quantiles_bound() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_nanos(100)); // bucket 6: [64, 127]
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_nanos(5000)); // bucket 12: [4096, 8191]
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.5), Duration::from_nanos(128));
+        assert_eq!(h.quantile(0.95), Duration::from_nanos(8192));
+        let rows = h.rows();
+        assert_eq!(rows, vec![(64, 127, 90), (4096, 8191, 10)]);
+        assert!(h.summary().contains("100 samples"));
+        assert_eq!(Histogram::new().quantile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn extras_land_in_json_rows() {
+        record("extra-test/x", 0.25);
+        note_extra("extra-test/x", "ff_skipped", 42);
+        let r = RESULTS.lock().unwrap();
+        let s = r
+            .iter()
+            .rev()
+            .find(|s| s.name == "extra-test/x")
+            .expect("sample recorded");
+        assert_eq!(s.extras, vec![("ff_skipped".to_string(), 42)]);
     }
 
     #[test]

@@ -65,7 +65,8 @@ use kdom_rng::StdRng;
 use crate::engine::{self, reverse_port_table};
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::reliable::{LinkState, ReliableConfig, RetxDecision};
-use crate::sim::{Port, Protocol, SimError, StallReport};
+use crate::sim::{Message, Port, Protocol, SimError, StallReport};
+use crate::trace::{TraceEvent, TraceSink};
 
 /// Statistics of an asynchronous (synchronizer-α) execution.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -204,6 +205,9 @@ pub struct AlphaSimulator<'g, P: Protocol> {
     outbox_pool: Vec<Option<P::Msg>>,
     /// First CONGEST violation observed; surfaced by [`Self::run`].
     violation: Option<SimError>,
+    /// Evidence stream (`KDOM_TRACE` / [`AlphaSimulator::set_trace`]);
+    /// `None` keeps every emission site a never-taken branch.
+    trace: Option<Box<dyn TraceSink>>,
 }
 
 // BinaryHeap needs Ord; box the event behind a sequence number and keep
@@ -285,7 +289,16 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
             last_activity: 0,
             outbox_pool: Vec::new(),
             violation: None,
+            trace: crate::trace::from_env(),
         }
+    }
+
+    /// Attaches a [`TraceSink`] for this run, replacing the
+    /// environment-selected one; the `run_start` event is emitted when
+    /// [`AlphaSimulator::run`] begins (its mode depends on whether the
+    /// reliable layer is enabled).
+    pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
     }
 
     /// Creates an executor that injects the faults described by `plan`
@@ -348,6 +361,16 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
             }
             Some(inj) => {
                 let tx = inj.transmit(arc.edge, now);
+                if let Some(t) = self.trace.as_mut() {
+                    if tx.copies.is_empty() {
+                        t.event(&TraceEvent::Drop {
+                            time: now,
+                            link_down: tx.down,
+                        });
+                    } else if tx.copies.len() > 1 {
+                        t.event(&TraceEvent::Duplicate { time: now });
+                    }
+                }
                 engine::fan_out(tx.copies, frame, |extra, frame| {
                     let delay = self.rng.random_range(1..=self.max_delay) + extra;
                     self.enqueue(
@@ -368,6 +391,9 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
         if self.dead[from] || self.dead_ports[from][port.0] {
             if wire.is_payload() {
                 self.crash_dropped += 1;
+                if let Some(t) = self.trace.as_mut() {
+                    t.event(&TraceEvent::CrashDrop { lost: 1 });
+                }
             }
             return;
         }
@@ -414,6 +440,9 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
                 if w.is_payload() {
                     self.unacked_payloads = self.unacked_payloads.saturating_sub(1);
                     self.crash_dropped += 1;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.event(&TraceEvent::CrashDrop { lost: 1 });
+                    }
                 }
             }
         }
@@ -465,6 +494,9 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
                 // neighbor is gone: the payload is undeliverable and no
                 // ack will ever come — don't wait for one
                 self.crash_dropped += 1;
+                if let Some(t) = self.trace.as_mut() {
+                    t.event(&TraceEvent::CrashDrop { lost: 1 });
+                }
                 continue;
             }
             sent += 1;
@@ -522,7 +554,12 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
             st.pulse += 1;
             st.ran_current = false;
             let next = st.pulse;
-            self.report.pulses = self.report.pulses.max(next);
+            if next > self.report.pulses {
+                self.report.pulses = next;
+                if let Some(t) = self.trace.as_mut() {
+                    t.event(&TraceEvent::Pulse { pulse: next });
+                }
+            }
             if self
                 .injector
                 .as_ref()
@@ -547,6 +584,9 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
             if w.is_payload() {
                 self.unacked_payloads = self.unacked_payloads.saturating_sub(1);
                 self.crash_dropped += 1;
+                if let Some(t) = self.trace.as_mut() {
+                    t.event(&TraceEvent::CrashDrop { lost: 1 });
+                }
             }
         }
         let owed = std::mem::take(&mut self.nodes[v].awaiting[port.0]);
@@ -560,6 +600,14 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
         match wire {
             Wire::Payload { pulse, msg } => {
                 self.report.payload_messages += 1;
+                if let Some(t) = self.trace.as_mut() {
+                    t.event(&TraceEvent::Deliver {
+                        time,
+                        node: v as u32,
+                        port: port.0 as u32,
+                        bits: msg.size_bits(),
+                    });
+                }
                 self.nodes[v]
                     .payloads
                     .entry(pulse)
@@ -657,6 +705,18 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
                 }
             }
         }
+        if let Some(t) = self.trace.as_mut() {
+            t.event(&TraceEvent::RunStart {
+                mode: if self.arq.is_some() {
+                    "reliable-alpha"
+                } else {
+                    "alpha"
+                },
+                nodes: self.graph.node_count(),
+                edges: self.graph.edge_count(),
+                bit_budget: None,
+            });
+        }
         // initial crashes (pulse 0): these nodes never participate — a
         // degraded topology
         let initial_dead: Vec<usize> = (0..self.nodes.len())
@@ -701,6 +761,9 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
                     if self.dead[to] {
                         if frame.carries_payload() {
                             self.crash_dropped += 1;
+                            if let Some(t) = self.trace.as_mut() {
+                                t.event(&TraceEvent::CrashDrop { lost: 1 });
+                            }
                         }
                         // in reliable mode the sender's state is settled
                         // by the Down frame, not by an ack
@@ -733,8 +796,21 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
                     let cfg = self.arq.expect("retx only scheduled in reliable mode");
                     match self.links[from][port.0].on_retx_timer(seq, &cfg) {
                         RetxDecision::Acked => {}
-                        RetxDecision::Resend { wire, next_timeout } => {
+                        RetxDecision::Resend {
+                            wire,
+                            next_timeout,
+                            attempt,
+                        } => {
                             self.report.retransmissions += 1;
+                            if let Some(t) = self.trace.as_mut() {
+                                t.event(&TraceEvent::Retx {
+                                    time,
+                                    node: from as u32,
+                                    port: port.0 as u32,
+                                    seq,
+                                    attempt,
+                                });
+                            }
                             self.physical_send(time, from, port, Frame::Data { seq, wire });
                             self.enqueue(time + next_timeout, Event::Retx { from, port, seq });
                         }
@@ -752,6 +828,13 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
         }
         self.take_violation()?;
         self.sync_fault_counters();
+        if self.trace.is_some() {
+            let projected = crate::RunReport::from(self.report.clone());
+            if let Some(t) = self.trace.as_mut() {
+                t.event(&TraceEvent::RunEnd { report: &projected });
+                t.flush();
+            }
+        }
         Ok(self.report.clone())
     }
 

@@ -68,6 +68,7 @@ use kdom_graph::graph::{Graph, NodeId};
 use crate::faults::FaultInjector;
 use crate::report::RunReport;
 use crate::sim::{Message, NodeCtx, Outbox, Port, Protocol, SimError, StallReport, Wake};
+use crate::trace::{TraceEvent, TraceSink};
 
 /// Execution knobs of the round engine: worker threads, scheduling,
 /// fast-forward, and the adaptive thresholds.
@@ -508,6 +509,14 @@ pub(crate) struct RoundEngine<'g, P: Protocol> {
     /// Messages lost in the inboxes of crashed nodes (counted separately
     /// from the injector's link-level drops).
     crash_lost: u64,
+    /// Evidence stream; `None` (the default) makes every emission site a
+    /// single never-taken branch.
+    trace: Option<Box<dyn TraceSink>>,
+    /// Fast-forward jumps taken so far (kept even without a sink — the
+    /// bench harness surfaces them).
+    ff_jumps: u64,
+    /// Rounds skipped by fast-forward so far.
+    ff_skipped: u64,
 }
 
 impl<'g, P: Protocol> RoundEngine<'g, P> {
@@ -577,9 +586,43 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             injector,
             last_activity: 0,
             crash_lost: 0,
+            trace: None,
+            ff_jumps: 0,
+            ff_skipped: 0,
         };
         engine.advance_crash_epoch();
+        engine.attach_trace(crate::trace::from_env());
         engine
+    }
+
+    /// Attaches an evidence sink and announces the run to it; `None` is
+    /// a no-op (the environment default when `KDOM_TRACE` is unset).
+    pub fn attach_trace(&mut self, sink: Option<Box<dyn TraceSink>>) {
+        if let Some(mut t) = sink {
+            t.event(&TraceEvent::RunStart {
+                mode: "sync",
+                nodes: self.graph.node_count(),
+                edges: self.graph.edge_count(),
+                bit_budget: self.config.bit_budget,
+            });
+            self.trace = Some(t);
+        }
+    }
+
+    /// Emits the final report to the trace stream and flushes it; called
+    /// by the simulator when a run reaches quiescence.
+    pub fn trace_run_end(&mut self) {
+        if let Some(t) = self.trace.as_mut() {
+            t.event(&TraceEvent::RunEnd {
+                report: &self.report,
+            });
+            t.flush();
+        }
+    }
+
+    /// `(jumps, skipped_rounds)` taken by quiescence fast-forward so far.
+    pub fn fast_forward_stats(&self) -> (u64, u64) {
+        (self.ff_jumps, self.ff_skipped)
     }
 
     pub fn nodes(&self) -> &[P] {
@@ -660,6 +703,14 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
         if target <= self.round {
             return;
         }
+        if let Some(t) = self.trace.as_mut() {
+            t.event(&TraceEvent::FastForward {
+                from: self.round,
+                to: target,
+            });
+        }
+        self.ff_jumps += 1;
+        self.ff_skipped += target - self.round;
         self.round = target;
         self.report.rounds = target;
         self.advance_crash_epoch();
@@ -737,6 +788,9 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
     /// [`SimError::BrokenTopology`] on an asymmetric adjacency list.
     pub fn step(&mut self) -> Result<(), SimError> {
         let n = self.graph.node_count();
+        if let Some(t) = self.trace.as_mut() {
+            t.event(&TraceEvent::Round { round: self.round });
+        }
         // the drained inbox arena becomes the next pending buffer:
         // zero allocation per round
         std::mem::swap(&mut self.inbox, &mut self.pending);
@@ -973,10 +1027,24 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             report,
             scratch,
             crash_lost,
+            trace,
             ..
         } = self;
         let epoch = round + 1;
-        for s in scratch[..shards].iter_mut() {
+        for (si, s) in scratch[..shards].iter_mut().enumerate() {
+            if let Some(t) = trace.as_mut() {
+                t.event(&TraceEvent::ShardFlush {
+                    round,
+                    shard: si,
+                    staged: s.staged_meta.len(),
+                });
+                if s.crash_lost > 0 {
+                    t.event(&TraceEvent::CrashLost {
+                        round,
+                        copies: s.crash_lost,
+                    });
+                }
+            }
             *crash_lost += s.crash_lost;
             for (meta, msg) in s.staged_meta.drain(..).zip(s.staged_msgs.drain(..)) {
                 let v32 = (meta >> 40) as u32;
@@ -1002,10 +1070,23 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
                 report.total_bits += bits;
                 report.max_message_bits = report.max_message_bits.max(bits);
                 round_msgs += 1;
-                let copies = match injector.as_mut() {
-                    None => 1,
-                    Some(inj) => inj.transmit(arc.edge, round).copies.len() as u32,
+                let (copies, down) = match injector.as_mut() {
+                    None => (1, false),
+                    Some(inj) => {
+                        let tx = inj.transmit(arc.edge, round);
+                        (tx.copies.len() as u32, tx.down)
+                    }
                 };
+                if let Some(t) = trace.as_mut() {
+                    t.event(&TraceEvent::Send {
+                        round,
+                        sender: v32,
+                        port: p as u32,
+                        bits,
+                        copies,
+                        link_down: down,
+                    });
+                }
                 if copies == 0 {
                     continue; // dropped on the wire
                 }

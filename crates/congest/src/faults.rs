@@ -157,12 +157,21 @@ impl FaultPlan {
 pub struct Transmission {
     /// Extra delay per delivered copy.
     pub copies: Vec<u64>,
+    /// Whether a loss was caused by a link down-interval rather than the
+    /// random drop stream (always `false` when copies were delivered).
+    /// The trace layer records this so drops stay attributable.
+    pub down: bool,
 }
 
 impl Transmission {
     /// Whether the transmission was dropped entirely.
     pub fn dropped(&self) -> bool {
         self.copies.is_empty()
+    }
+
+    /// Extra copies beyond the first (0 or 1 with the current injector).
+    pub fn duplicates(&self) -> u64 {
+        (self.copies.len() as u64).saturating_sub(1)
     }
 }
 
@@ -242,11 +251,17 @@ impl FaultInjector {
     pub fn transmit(&mut self, edge: EdgeId, now: u64) -> Transmission {
         if self.link_is_down(edge, now) {
             self.dropped += 1;
-            return Transmission { copies: Vec::new() };
+            return Transmission {
+                copies: Vec::new(),
+                down: true,
+            };
         }
         if self.drop_prob > 0.0 && self.rng.random_bool(self.drop_prob) {
             self.dropped += 1;
-            return Transmission { copies: Vec::new() };
+            return Transmission {
+                copies: Vec::new(),
+                down: false,
+            };
         }
         let mut copies = Vec::with_capacity(1);
         copies.push(self.extra_delay());
@@ -254,7 +269,10 @@ impl FaultInjector {
             self.duplicated += 1;
             copies.push(self.extra_delay());
         }
-        Transmission { copies }
+        Transmission {
+            copies,
+            down: false,
+        }
     }
 
     fn extra_delay(&mut self) -> u64 {
@@ -355,6 +373,16 @@ mod tests {
         assert!(!inj.link_is_down(EdgeId(3), 6));
         assert!(inj.transmit(EdgeId(2), 6).dropped());
         assert_eq!(inj.dropped(), 1);
+    }
+
+    #[test]
+    fn down_interval_losses_are_attributed() {
+        let plan = FaultPlan::new(0).link_down(EdgeId(2), 5, 8).dup_prob(1.0);
+        let mut inj = FaultInjector::new(&plan);
+        assert!(inj.transmit(EdgeId(2), 6).down);
+        let tx = inj.transmit(EdgeId(2), 9);
+        assert!(!tx.down);
+        assert_eq!(tx.duplicates(), 1);
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod faults;
 pub mod reliable;
 mod report;
 mod sim;
+pub mod trace;
 
 pub use alpha::{
     run_protocol_alpha, run_protocol_alpha_faulty, run_protocol_alpha_reliable, AlphaReport,
@@ -79,3 +80,4 @@ pub use sim::{
     InvariantView, Message, NodeCtx, Outbox, Port, Protocol, SimError, Simulator, StallReport,
     Wake, CONGEST_WORD_BITS,
 };
+pub use trace::{JsonlSink, MemorySink, TraceEvent, TraceSink, TraceSummary};

@@ -65,6 +65,10 @@ pub enum RetxDecision<W> {
         wire: W,
         /// Backed-off timeout for the next attempt.
         next_timeout: u64,
+        /// Attempt number this resend makes (2 = first retransmission);
+        /// recorded in the trace stream so retransmission storms are
+        /// attributable per link.
+        attempt: u32,
     },
     /// The retransmission budget is spent; the link must be declared dead.
     Exhausted {
@@ -139,6 +143,7 @@ impl<W: Clone> LinkState<W> {
         RetxDecision::Resend {
             wire: p.wire.clone(),
             next_timeout: p.timeout,
+            attempt: p.attempts,
         }
     }
 
@@ -197,15 +202,27 @@ mod tests {
     fn retx_backs_off_exponentially_then_exhausts() {
         let mut l: LinkState<u32> = LinkState::new();
         let s = l.register_send(9, &CFG);
-        let RetxDecision::Resend { wire, next_timeout } = l.on_retx_timer(s, &CFG) else {
+        let RetxDecision::Resend {
+            wire,
+            next_timeout,
+            attempt,
+        } = l.on_retx_timer(s, &CFG)
+        else {
             panic!("expected resend");
         };
         assert_eq!(wire, 9);
         assert_eq!(next_timeout, 8);
-        let RetxDecision::Resend { next_timeout, .. } = l.on_retx_timer(s, &CFG) else {
+        assert_eq!(attempt, 2, "first retransmission is attempt 2");
+        let RetxDecision::Resend {
+            next_timeout,
+            attempt,
+            ..
+        } = l.on_retx_timer(s, &CFG)
+        else {
             panic!("expected resend");
         };
         assert_eq!(next_timeout, 16, "doubled and capped");
+        assert_eq!(attempt, 3);
         assert_eq!(
             l.on_retx_timer(s, &CFG),
             RetxDecision::Exhausted { attempts: 3 }

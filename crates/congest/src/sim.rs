@@ -501,6 +501,28 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         self.engine.quiescent()
     }
 
+    /// Attaches a [`TraceSink`](crate::trace::TraceSink) for this run,
+    /// replacing the environment-selected one (`KDOM_TRACE`). The sink
+    /// immediately receives the `run_start` event; the final report is
+    /// emitted when [`Simulator::run`] reaches quiescence.
+    pub fn set_trace(&mut self, sink: Box<dyn crate::trace::TraceSink>) {
+        self.engine.attach_trace(Some(sink));
+    }
+
+    /// Skips ahead over provably-empty rounds without executing them
+    /// (bounded by `limit`); a no-op unless the engine is idle-parked.
+    /// [`Simulator::run`] calls this automatically — it is public so
+    /// instrumented drivers (the bench harness's round profiler) can
+    /// interleave skips with hand-timed [`Simulator::step`] calls.
+    pub fn fast_forward(&mut self, limit: u64) {
+        self.engine.fast_forward(limit);
+    }
+
+    /// `(jumps, skipped_rounds)` taken by quiescence fast-forward so far.
+    pub fn fast_forward_stats(&self) -> (u64, u64) {
+        self.engine.fast_forward_stats()
+    }
+
     /// Executes a single round: delivers pending messages, steps the
     /// scheduled automata, and queues the newly sent messages.
     ///
@@ -574,6 +596,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             self.engine.step()?;
             self.check_invariants()?;
         }
+        self.engine.trace_run_end();
         Ok(self.engine.report().clone())
     }
 }

@@ -125,6 +125,7 @@ pub fn run_bfs(g: &Graph, root: NodeId) -> (Vec<BfsNode>, kdom_congest::RunRepor
     let nodes = (0..g.node_count())
         .map(|v| BfsNode::new(v == root.0))
         .collect();
+    kdom_congest::trace::emit_phase("BFS");
     let (nodes, report) = kdom_congest::run_protocol(g, nodes, 4 * g.node_count() as u64 + 16)
         .expect("BFS quiesces within O(n) rounds on a connected graph");
     (nodes, report)

@@ -80,6 +80,26 @@ impl Executor {
         }
     }
 
+    /// [`Executor::run`] preceded by a phase marker in the trace stream
+    /// (`KDOM_TRACE`): composed algorithms label their measured stages
+    /// (`"SimpleMST"`, `"BFS"`, `"FastDOM/within"`, …) so the trace
+    /// validator can break the absorbed [`RunReport`] totals back down
+    /// per phase. A no-op wrapper when tracing is disabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the simulator's [`SimError`], as [`Executor::run`].
+    pub fn run_phase<P: Protocol>(
+        &self,
+        phase: &str,
+        g: &Graph,
+        nodes: Vec<P>,
+        max_rounds: u64,
+    ) -> Result<(Vec<P>, RunReport), SimError> {
+        kdom_congest::trace::emit_phase(phase);
+        self.run(g, nodes, max_rounds)
+    }
+
     /// A short human label for reports and benchmarks.
     pub fn label(&self) -> &'static str {
         match self {

@@ -129,7 +129,7 @@ fn run_within(
                 })
                 .collect();
             let (nodes, report) = exec
-                .run(g, nodes, budget)
+                .run_phase("FastDOM/within", g, nodes, budget)
                 .unwrap_or_else(|e| panic!("DiamDOM stage failed: {e}"));
             (
                 nodes
@@ -150,7 +150,7 @@ fn run_within(
                 })
                 .collect();
             let (nodes, report) = exec
-                .run(g, nodes, budget)
+                .run_phase("FastDOM/within", g, nodes, budget)
                 .unwrap_or_else(|e| panic!("DP stage failed: {e}"));
             (
                 nodes
@@ -210,6 +210,8 @@ pub fn fast_dom_t_distributed_on(
     let nodes: Vec<NodeId> = g.nodes().collect();
     let edges: Vec<(NodeId, NodeId)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
     let part = dom_partition(g, nodes, &edges, k);
+    kdom_congest::trace::emit_phase("DOMPartition");
+    kdom_congest::trace::emit_charge(part.charge.rounds);
     let mut tree_adj: Vec<Vec<NodeId>> = vec![Vec::new(); g.node_count()];
     for &(u, v) in &edges {
         tree_adj[u.0].push(v);
@@ -266,6 +268,8 @@ pub fn fast_dom_g_distributed_on(
         }
         all_clusters.extend(res.clusters);
     }
+    kdom_congest::trace::emit_phase("DOMPartition");
+    kdom_congest::trace::emit_charge(charge.rounds);
     let plan = plan_cluster_trees(g, &all_clusters, &tree_adj);
     let (dominator_id, within_report) = run_within(g, &plan, k, solver, exec);
     DistFastDom {

@@ -433,7 +433,7 @@ pub fn run_simple_mst_on(
         .collect();
     let budget = schedule_end(k) + 8;
     let (nodes, report) = exec
-        .run(g, nodes, budget)
+        .run_phase("SimpleMST", g, nodes, budget)
         .unwrap_or_else(|e| panic!("SimpleMST failed to quiesce: {e}"));
 
     // extract the forest from parent pointers

@@ -111,6 +111,8 @@ pub fn fast_mst_from_root(g: &Graph, k: usize, root: NodeId) -> FastMstRun {
             }
         }
     }
+    kdom_congest::trace::emit_phase("DOMPartition");
+    kdom_congest::trace::emit_charge(partition_charge.rounds);
 
     // Stage 3: BFS + Pipeline (measured).
     let run: PipelineRun = run_pipeline(g, root, &cluster_of, true, false);

@@ -430,6 +430,7 @@ pub fn run_pipeline(
     let n64 = g.node_count() as u64;
     let budget =
         40 * (n64 + g.edge_count() as u64) + 1000 + if barrier { 4 * n64 * n64 } else { 0 };
+    kdom_congest::trace::emit_phase("Pipeline");
     let (nodes, report) = kdom_congest::run_protocol(g, nodes, budget).expect("pipeline quiesces");
     let root_node = &nodes[root.0];
     PipelineRun {

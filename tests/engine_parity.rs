@@ -236,6 +236,66 @@ fn countdown_parity_across_fast_forward() {
     assert_eq!(report.messages, 63);
 }
 
+/// Every node broadcasts in round 0: the densest round any protocol can
+/// produce, with one message per directed edge.
+#[derive(Debug)]
+struct Burst {
+    sent: bool,
+}
+
+impl Protocol for Burst {
+    type Msg = Tok;
+
+    fn round(&mut self, ctx: &NodeCtx<'_>, _inbox: &[(Port, Tok)], out: &mut Outbox<Tok>) {
+        if ctx.round == 0 {
+            out.broadcast(Tok);
+            self.sent = true;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.sent
+    }
+
+    fn next_wake(&self, _now: u64) -> Wake {
+        Wake::OnMessage
+    }
+}
+
+/// `peak_messages_per_round` must be the **global** per-round maximum,
+/// not a per-shard one: a 4-thread run whose shards are forced as small
+/// as possible (`shard_min = 1`) has to report the same peak as the
+/// single-threaded reference loop. With every node broadcasting in round
+/// 0, that peak is exactly `2·|E|` — any per-shard aggregation bug
+/// reports a fraction of it.
+#[test]
+fn peak_messages_per_round_is_global_across_shards() {
+    let g = gnp_connected(&GenConfig::with_seed(256, 1), 0.04);
+    let want_peak = 2 * g.edge_count() as u64;
+    let make = |g: &Graph| {
+        (0..g.node_count())
+            .map(|_| Burst { sent: false })
+            .collect::<Vec<_>>()
+    };
+
+    let (_, ref_report) =
+        kdom::congest::engine::run_reference_loop(&g, make(&g), 1_000).expect("burst quiesces");
+    assert_eq!(
+        ref_report.peak_messages_per_round, want_peak,
+        "reference loop disagrees with the analytic peak"
+    );
+
+    let cfg = EngineConfig::default().with_threads(4).with_shard_min(1);
+    let mut sim = Simulator::with_config(&g, make(&g), cfg);
+    let report = sim.run(1_000).expect("burst quiesces");
+    assert_eq!(
+        report.peak_messages_per_round, want_peak,
+        "maximally-sharded 4-thread run reported a per-shard peak"
+    );
+
+    assert_parity(&g, make, None, "burst broadcast");
+}
+
 /// A node engineered to leave **two valid entries for the same (round,
 /// node) pair** in the timer heap: it parks at round 10, is woken by a
 /// message and moves its promise to round 3 (the round-10 heap entry goes
@@ -387,6 +447,44 @@ fn fault_injection_parity() {
             "faulty SimpleMST",
         );
     }
+}
+
+/// Fault counters must survive quiescence fast-forward byte-identically
+/// even when the losses come from a scheduled link-down interval: the
+/// countdown relay makes almost every round silent (so the no-ff legs
+/// actually execute thousands of rounds the ff legs skip), while the
+/// down interval severs the relay mid-run — `dropped_messages` comes
+/// entirely from the scheduled outage (the relay has no retries, so a
+/// probabilistic drop would just end the run early), `duplicated_messages`
+/// from the duplicator, and every config has to agree on the exact totals.
+#[test]
+fn fault_counter_parity_across_fast_forward() {
+    let g = path(&GenConfig::with_seed(64, 5));
+    let down_edge = g.edges()[20].id;
+    let plan = FaultPlan::new(0xFFD0)
+        .dup_prob(0.2)
+        .link_down(down_edge, 300, 2_000)
+        .crash(NodeId(60), 900);
+    let gap = 37;
+    let make = |g: &Graph| {
+        (0..g.node_count())
+            .map(|v| Countdown {
+                origin: v == 0,
+                gap,
+                from: None,
+                fire_at: None,
+                fired: false,
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_parity(&g, make, Some(&plan), "faulty countdown relay");
+
+    // sanity: both loss paths and the duplicator really fired
+    let mut sim = Simulator::with_faults_config(&g, make(&g), &plan, EngineConfig::default());
+    let _ = sim.run(50_000);
+    let report = sim.report().clone();
+    assert!(report.dropped_messages > 0, "no drops: {report:?}");
+    assert!(report.duplicated_messages > 0, "no dups: {report:?}");
 }
 
 /// Reliable-α at 20% loss recovers the synchronous outputs exactly, and
