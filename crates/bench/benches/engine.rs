@@ -87,6 +87,13 @@ fn bench_simple_mst(c: &mut Criterion) {
         ("full-scan-1t", Some(engine_cfg(Scheduling::FullScan, 1))),
         ("active-set-1t", Some(engine_cfg(Scheduling::ActiveSet, 1))),
         ("active-set-4t", Some(engine_cfg(Scheduling::ActiveSet, 4))),
+        // codec-overhead probe: every message encoded at send and decoded
+        // at delivery. Measured, not gated — the committed baseline has no
+        // entry for this leg, so the regression gate skips it by design.
+        (
+            "active-set-1t-wire-exact",
+            Some(engine_cfg(Scheduling::ActiveSet, 1).with_wire_exact(true)),
+        ),
     ];
     for (leg, cfg) in legs {
         if let Some(cfg) = cfg {

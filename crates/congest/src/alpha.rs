@@ -67,6 +67,7 @@ use crate::faults::{FaultInjector, FaultPlan};
 use crate::reliable::{LinkState, ReliableConfig, RetxDecision};
 use crate::sim::{Message, Port, Protocol, SimError, StallReport};
 use crate::trace::{TraceEvent, TraceSink};
+use crate::wire::{BitReader, BitWriter, Wire, WireError, WireFrame};
 
 /// Statistics of an asynchronous (synchronizer-α) execution.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -87,6 +88,15 @@ pub struct AlphaReport {
     pub duplicated_messages: u64,
     /// Retransmissions performed by the reliable-delivery layer.
     pub retransmissions: u64,
+    /// Link-layer bits of payload-carrying frames delivered to live
+    /// nodes: the *encoded* frame size, so α pulse tags and (in reliable
+    /// mode) ARQ sequence-number framing are priced honestly on top of
+    /// the protocol payload.
+    pub payload_bits: u64,
+    /// Link-layer bits of control frames delivered to live nodes — α
+    /// acks and safe notifications, ARQ link-acks and retransmitted
+    /// duplicates, and failure-detector `Down` frames.
+    pub control_bits: u64,
 }
 
 impl From<AlphaReport> for crate::RunReport {
@@ -107,17 +117,58 @@ impl From<AlphaReport> for crate::RunReport {
     }
 }
 
-/// Wire format: a payload with its pulse tag, or α control traffic.
+/// α wire format: a payload with its pulse tag, or α control traffic.
+/// (Named `AlphaWire` so the codec trait [`Wire`] keeps the short name.)
 #[derive(Clone, Debug)]
-pub(crate) enum Wire<M> {
+pub(crate) enum AlphaWire<M> {
     Payload { pulse: u64, msg: M },
     Ack { pulse: u64 },
     Safe { pulse: u64 },
 }
 
-impl<M> Wire<M> {
+impl<M> AlphaWire<M> {
     fn is_payload(&self) -> bool {
-        matches!(self, Wire::Payload { .. })
+        matches!(self, AlphaWire::Payload { .. })
+    }
+}
+
+/// Encoding: 2-bit tag, pulse as one CONGEST word, and — for payloads —
+/// the protocol message as the *tail* of the frame, so its (possibly
+/// length-delimited) decoder sees exactly its own bits as the remainder.
+impl<M: Message> Wire for AlphaWire<M> {
+    fn encode(&self, w: &mut BitWriter) {
+        match self {
+            AlphaWire::Payload { pulse, msg } => {
+                w.tag(0, 3);
+                w.word(*pulse);
+                msg.encode(w);
+            }
+            AlphaWire::Ack { pulse } => {
+                w.tag(1, 3);
+                w.word(*pulse);
+            }
+            AlphaWire::Safe { pulse } => {
+                w.tag(2, 3);
+                w.word(*pulse);
+            }
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.tag(3)? {
+            0 => AlphaWire::Payload {
+                pulse: r.word()?,
+                msg: M::decode(r)?,
+            },
+            1 => AlphaWire::Ack { pulse: r.word()? },
+            2 => AlphaWire::Safe { pulse: r.word()? },
+            value => {
+                return Err(WireError::BadTag {
+                    context: "AlphaWire",
+                    value,
+                })
+            }
+        })
     }
 }
 
@@ -126,9 +177,9 @@ impl<M> Wire<M> {
 #[derive(Clone, Debug)]
 enum Frame<M> {
     /// Unreliable transport (the fault-free fast path).
-    Raw(Wire<M>),
+    Raw(AlphaWire<M>),
     /// Reliable transport: a wire tagged with a link sequence number.
-    Data { seq: u64, wire: Wire<M> },
+    Data { seq: u64, wire: AlphaWire<M> },
     /// Link-level acknowledgement of a `Data` frame.
     LinkAck { seq: u64 },
     /// Failure-detector notification: the sender has crashed.
@@ -144,13 +195,75 @@ impl<M> Frame<M> {
     }
 }
 
+/// Encoding: 2-bit tag, ARQ sequence numbers as CONGEST words, and the
+/// wrapped α wire as the tail (see [`AlphaWire`]'s encoding note).
+impl<M: Message> Wire for Frame<M> {
+    fn encode(&self, w: &mut BitWriter) {
+        match self {
+            Frame::Raw(wire) => {
+                w.tag(0, 4);
+                wire.encode(w);
+            }
+            Frame::Data { seq, wire } => {
+                w.tag(1, 4);
+                w.word(*seq);
+                wire.encode(w);
+            }
+            Frame::LinkAck { seq } => {
+                w.tag(2, 4);
+                w.word(*seq);
+            }
+            Frame::Down => w.tag(3, 4),
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.tag(4)? {
+            0 => Frame::Raw(AlphaWire::decode(r)?),
+            1 => Frame::Data {
+                seq: r.word()?,
+                wire: AlphaWire::decode(r)?,
+            },
+            2 => Frame::LinkAck { seq: r.word()? },
+            _ => Frame::Down,
+        })
+    }
+}
+
+/// What actually travels through the event queue: the in-memory frame on
+/// the default path, or — under wire-exact execution — the encoded bit
+/// frame, decoded only at delivery. The payload flag is stored so
+/// in-flight accounting never needs to decode.
+#[derive(Clone, Debug)]
+enum Packet<M> {
+    Typed(Frame<M>),
+    Bits { frame: WireFrame, payload: bool },
+}
+
+impl<M: Message> Packet<M> {
+    fn carries_payload(&self) -> bool {
+        match self {
+            Packet::Typed(f) => f.carries_payload(),
+            Packet::Bits { payload, .. } => *payload,
+        }
+    }
+
+    /// Encoded link-layer size of this frame, identical on both paths.
+    fn bits(&self) -> u64 {
+        match self {
+            Packet::Typed(f) => f.encoded_bits(),
+            Packet::Bits { frame, .. } => frame.bits(),
+        }
+    }
+}
+
 /// A scheduled simulation event.
 enum Event<M> {
-    /// `frame` arrives at `to` over its local `port`.
+    /// `pkt` arrives at `to` over its local `port`.
     Deliver {
         to: usize,
         port: Port,
-        frame: Frame<M>,
+        pkt: Packet<M>,
     },
     /// The retransmission timer of `(from, port, seq)` fires.
     Retx { from: usize, port: Port, seq: u64 },
@@ -189,7 +302,7 @@ pub struct AlphaSimulator<'g, P: Protocol> {
     injector: Option<FaultInjector>,
     arq: Option<ReliableConfig>,
     /// ARQ endpoint state per `(node, port)` (reliable mode only).
-    links: Vec<Vec<LinkState<Wire<P::Msg>>>>,
+    links: Vec<Vec<LinkState<AlphaWire<P::Msg>>>>,
     dead: Vec<bool>,
     /// `dead_ports[v][p]`: v has learned (via `Down`) that the neighbor
     /// across port p crashed.
@@ -203,6 +316,10 @@ pub struct AlphaSimulator<'g, P: Protocol> {
     last_activity: u64,
     /// Pooled outbox slab handed to the shared round executor.
     outbox_pool: Vec<Option<P::Msg>>,
+    /// Wire-exact execution (`KDOM_WIRE=exact` or
+    /// [`AlphaSimulator::wire_exact`]): frames are encoded at send and
+    /// decoded at delivery (see [`Packet`]).
+    exact: bool,
     /// First CONGEST violation observed; surfaced by [`Self::run`].
     violation: Option<SimError>,
     /// Evidence stream (`KDOM_TRACE` / [`AlphaSimulator::set_trace`]);
@@ -288,9 +405,24 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
             unacked_payloads: 0,
             last_activity: 0,
             outbox_pool: Vec::new(),
+            exact: matches!(
+                std::env::var("KDOM_WIRE").as_deref(),
+                Ok("exact") | Ok("1") | Ok("on")
+            ),
             violation: None,
             trace: crate::trace::from_env(),
         }
+    }
+
+    /// Enables (or disables) wire-exact execution explicitly, overriding
+    /// the environment default (`KDOM_WIRE=exact`): every frame is
+    /// encoded to its bit representation at send and decoded back at
+    /// delivery, with a round-trip mismatch surfacing as
+    /// [`SimError::WireMismatch`]. Reports are byte-identical to the
+    /// default in-memory path.
+    pub fn wire_exact(mut self, on: bool) -> Self {
+        self.exact = on;
+        self
     }
 
     /// Attaches a [`TraceSink`] for this run, replacing the
@@ -331,8 +463,8 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
 
     /// Pushes `ev` at absolute time `at`, maintaining payload accounting.
     fn enqueue(&mut self, at: u64, ev: Event<P::Msg>) {
-        if let Event::Deliver { frame, .. } = &ev {
-            if frame.carries_payload() {
+        if let Event::Deliver { pkt, .. } = &ev {
+            if pkt.carries_payload() {
                 self.inflight_payloads += 1;
             }
         }
@@ -340,13 +472,30 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
         self.queue.push(Reverse((at, self.seq, EventBox(ev))));
     }
 
+    /// Commits `frame` to its link representation: the encoded bit frame
+    /// under wire-exact execution, the in-memory frame otherwise.
+    fn packetize(&self, frame: Frame<P::Msg>) -> Packet<P::Msg> {
+        if self.exact {
+            Packet::Bits {
+                payload: frame.carries_payload(),
+                frame: frame.to_frame(),
+            }
+        } else {
+            Packet::Typed(frame)
+        }
+    }
+
     /// Physically transmits `frame` over `(from, port)` through the fault
-    /// injector (drops, duplicates, extra delay, down links).
+    /// injector (drops, duplicates, extra delay, down links). The frame
+    /// is packetized *before* the injector and delay draws, so the RNG
+    /// stream — and therefore the whole run — is identical with and
+    /// without wire-exact execution.
     fn physical_send(&mut self, now: u64, from: usize, port: Port, frame: Frame<P::Msg>) {
         let arc = self.graph.neighbors(NodeId(from))[port.0];
         let to = arc.to.0;
         // validated in run(); BrokenTopology is reported there
         let back = self.rev_port[from][port.0].expect("validated topology");
+        let pkt = self.packetize(frame);
         match self.injector.as_mut() {
             None => {
                 let delay = self.rng.random_range(1..=self.max_delay);
@@ -355,7 +504,7 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
                     Event::Deliver {
                         to,
                         port: back,
-                        frame,
+                        pkt,
                     },
                 );
             }
@@ -371,14 +520,14 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
                         t.event(&TraceEvent::Duplicate { time: now });
                     }
                 }
-                engine::fan_out(tx.copies, frame, |extra, frame| {
+                engine::fan_out(tx.copies, pkt, |extra, pkt| {
                     let delay = self.rng.random_range(1..=self.max_delay) + extra;
                     self.enqueue(
                         now + delay,
                         Event::Deliver {
                             to,
                             port: back,
-                            frame,
+                            pkt,
                         },
                     );
                 });
@@ -387,7 +536,7 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
     }
 
     /// Sends an α wire over the configured transport (raw or ARQ).
-    fn transport_send(&mut self, now: u64, from: usize, port: Port, wire: Wire<P::Msg>) {
+    fn transport_send(&mut self, now: u64, from: usize, port: Port, wire: AlphaWire<P::Msg>) {
         if self.dead[from] || self.dead_ports[from][port.0] {
             if wire.is_payload() {
                 self.crash_dropped += 1;
@@ -417,12 +566,13 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
         for p in 0..self.graph.degree(NodeId(v)) {
             let arc = self.graph.neighbors(NodeId(v))[p];
             let back = self.rev_port[v][p].expect("validated topology");
+            let pkt = self.packetize(Frame::Down);
             self.enqueue(
                 now + 1,
                 Event::Deliver {
                     to: arc.to.0,
                     port: back,
-                    frame: Frame::Down,
+                    pkt,
                 },
             );
         }
@@ -501,7 +651,7 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
             }
             sent += 1;
             self.nodes[v].awaiting[p] = 1;
-            self.transport_send(now, v, Port(p), Wire::Payload { pulse, msg });
+            self.transport_send(now, v, Port(p), AlphaWire::Payload { pulse, msg });
         }
         self.outbox_pool = slots;
         self.nodes[v].ran_current = true;
@@ -521,7 +671,7 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
             let pulse = self.nodes[v].pulse;
             for p in 0..self.graph.degree(NodeId(v)) {
                 if !self.dead_ports[v][p] {
-                    self.transport_send(now, v, Port(p), Wire::Safe { pulse });
+                    self.transport_send(now, v, Port(p), AlphaWire::Safe { pulse });
                 }
             }
             self.maybe_advance(now, v);
@@ -596,9 +746,9 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
     }
 
     /// Processes one α wire delivered to `v` on `port`.
-    fn deliver_wire(&mut self, time: u64, v: usize, port: Port, wire: Wire<P::Msg>) {
+    fn deliver_wire(&mut self, time: u64, v: usize, port: Port, wire: AlphaWire<P::Msg>) {
         match wire {
-            Wire::Payload { pulse, msg } => {
+            AlphaWire::Payload { pulse, msg } => {
                 self.report.payload_messages += 1;
                 if let Some(t) = self.trace.as_mut() {
                     t.event(&TraceEvent::Deliver {
@@ -613,9 +763,9 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
                     .entry(pulse)
                     .or_default()
                     .push((port, msg));
-                self.transport_send(time, v, port, Wire::Ack { pulse });
+                self.transport_send(time, v, port, AlphaWire::Ack { pulse });
             }
-            Wire::Ack { pulse } => {
+            AlphaWire::Ack { pulse } => {
                 self.report.control_messages += 1;
                 if self.nodes[v].pulse == pulse && self.nodes[v].awaiting[port.0] > 0 {
                     self.nodes[v].awaiting[port.0] -= 1;
@@ -623,7 +773,7 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
                     self.maybe_safe(time, v);
                 }
             }
-            Wire::Safe { pulse } => {
+            AlphaWire::Safe { pulse } => {
                 self.report.control_messages += 1;
                 self.nodes[v].safes.entry(pulse).or_default().insert(port);
                 if self.nodes[v].pulse == pulse {
@@ -753,13 +903,14 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
             }
             self.report.virtual_time = self.report.virtual_time.max(time);
             match ev.0 {
-                Event::Deliver { to, port, frame } => {
-                    if frame.carries_payload() {
+                Event::Deliver { to, port, pkt } => {
+                    let is_payload = pkt.carries_payload();
+                    if is_payload {
                         self.inflight_payloads -= 1;
                     }
                     self.last_activity = time;
                     if self.dead[to] {
-                        if frame.carries_payload() {
+                        if is_payload {
                             self.crash_dropped += 1;
                             if let Some(t) = self.trace.as_mut() {
                                 t.event(&TraceEvent::CrashDrop { lost: 1 });
@@ -768,6 +919,39 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
                         // in reliable mode the sender's state is settled
                         // by the Down frame, not by an ack
                         continue;
+                    }
+                    let link_bits = pkt.bits();
+                    let frame = match pkt {
+                        Packet::Typed(frame) => frame,
+                        Packet::Bits { frame: wf, .. } => match Frame::<P::Msg>::from_frame(&wf) {
+                            Ok(decoded) if decoded.to_frame() == wf => decoded,
+                            Ok(decoded) => {
+                                self.violation.get_or_insert(SimError::WireMismatch {
+                                    node: NodeId(to),
+                                    port,
+                                    round: time,
+                                    detail: format!(
+                                        "re-encoding decoded frame {decoded:?} does not \
+                                             reproduce the received bits"
+                                    ),
+                                });
+                                continue;
+                            }
+                            Err(e) => {
+                                self.violation.get_or_insert(SimError::WireMismatch {
+                                    node: NodeId(to),
+                                    port,
+                                    round: time,
+                                    detail: e.to_string(),
+                                });
+                                continue;
+                            }
+                        },
+                    };
+                    if is_payload {
+                        self.report.payload_bits += link_bits;
+                    } else {
+                        self.report.control_bits += link_bits;
                     }
                     match frame {
                         Frame::Raw(wire) => self.deliver_wire(time, to, port, wire),
@@ -910,13 +1094,17 @@ mod tests {
     use kdom_graph::properties::bfs_distances;
 
     /// The BFS protocol from the synchronous tests, reused verbatim.
-    #[derive(Clone, Debug)]
+    #[derive(Clone, Debug, PartialEq, Eq)]
     struct Dist(u32);
-    impl Message for Dist {
-        fn size_bits(&self) -> u64 {
-            32
+    impl crate::wire::Wire for Dist {
+        fn encode(&self, w: &mut crate::wire::BitWriter) {
+            w.u32(self.0);
+        }
+        fn decode(r: &mut crate::wire::BitReader<'_>) -> Result<Self, crate::wire::WireError> {
+            Ok(Dist(r.u32()?))
         }
     }
+    impl Message for Dist {}
 
     #[derive(Debug)]
     struct Bfs {
@@ -1091,6 +1279,62 @@ mod tests {
         let (nb, b) = run_protocol_alpha_reliable(&g, bfs_nodes(25), 6, 3, &plan, 10_000).unwrap();
         assert_eq!(a, b, "identical (plan, seed) ⇒ identical reports");
         for v in 0..25 {
+            assert_eq!(na[v].dist, nb[v].dist);
+        }
+    }
+
+    #[test]
+    fn alpha_wire_and_frame_round_trip() {
+        let wires: Vec<AlphaWire<Dist>> = vec![
+            AlphaWire::Payload {
+                pulse: 7,
+                msg: Dist(41),
+            },
+            AlphaWire::Ack { pulse: 0 },
+            AlphaWire::Safe {
+                pulse: (1 << 48) - 1,
+            },
+        ];
+        for w in &wires {
+            crate::wire::round_trip(w).unwrap();
+        }
+        // pulse tag + optional ARQ framing is priced on the wire
+        assert_eq!(wires[1].encoded_bits(), 50);
+        assert_eq!(wires[0].encoded_bits(), 50 + Dist(41).encoded_bits());
+        let frames: Vec<Frame<Dist>> = vec![
+            Frame::Raw(wires[0].clone()),
+            Frame::Data {
+                seq: 3,
+                wire: wires[2].clone(),
+            },
+            Frame::LinkAck { seq: 9 },
+            Frame::Down,
+        ];
+        for f in &frames {
+            crate::wire::round_trip(f).unwrap();
+        }
+        assert_eq!(frames[3].encoded_bits(), 2);
+        assert_eq!(frames[2].encoded_bits(), 50);
+        assert_eq!(frames[1].encoded_bits(), 50 + wires[2].encoded_bits());
+    }
+
+    #[test]
+    fn wire_exact_alpha_matches_default_run() {
+        let g = gnp_connected(&GenConfig::with_seed(20, 5), 0.2);
+        let plan = FaultPlan::new(11).drop_prob(0.15).dup_prob(0.05);
+        let run = |exact: bool| {
+            let cfg = ReliableConfig::for_delays(3, plan.max_extra_delay);
+            let mut sim = AlphaSimulator::with_faults(&g, bfs_nodes(20), 9, 3, &plan)
+                .reliable(cfg)
+                .wire_exact(exact);
+            let report = sim.run(10_000).unwrap();
+            (sim.into_nodes(), report)
+        };
+        let (na, a) = run(false);
+        let (nb, b) = run(true);
+        assert_eq!(a, b, "wire-exact execution must not perturb the run");
+        assert!(a.payload_bits > 0 && a.control_bits > 0);
+        for v in 0..20 {
             assert_eq!(na[v].dist, nb[v].dist);
         }
     }

@@ -98,6 +98,13 @@ pub struct EngineConfig {
     /// `size_bits() <= bit_budget` (see [`crate::congest_budget`]).
     /// Release builds ignore it.
     pub bit_budget: Option<u64>,
+    /// Wire-exact execution: encode every message to its bit frame at
+    /// send and deliver the *decoded* frame, verifying the round trip
+    /// (mismatch aborts with [`SimError::WireMismatch`]). Proves the
+    /// automata depend only on what is actually on the wire; reports are
+    /// byte-identical to the default zero-copy path. Off by default;
+    /// `KDOM_WIRE=exact` enables it.
+    pub wire_exact: bool,
 }
 
 impl Default for EngineConfig {
@@ -109,6 +116,7 @@ impl Default for EngineConfig {
             dense_pct: 75,
             shard_min: 1024,
             bit_budget: None,
+            wire_exact: false,
         }
     }
 }
@@ -121,7 +129,8 @@ impl EngineConfig {
     ///   anything else, including unset, selects [`Scheduling::ActiveSet`];
     /// - `KDOM_FASTFWD`: `0`/`off`/`false`/`no` disables fast-forward;
     /// - `KDOM_DENSE_PCT`: dense-scan fallback threshold (percent);
-    /// - `KDOM_SHARD_MIN`: minimum active nodes per worker shard.
+    /// - `KDOM_SHARD_MIN`: minimum active nodes per worker shard;
+    /// - `KDOM_WIRE`: `exact` (or `1`/`on`) enables wire-exact execution.
     pub fn from_env() -> Self {
         let defaults = EngineConfig::default();
         let threads = std::env::var("KDOM_THREADS")
@@ -146,6 +155,10 @@ impl EngineConfig {
             .and_then(|v| v.parse::<usize>().ok())
             .map(|m| m.max(1))
             .unwrap_or(defaults.shard_min);
+        let wire_exact = matches!(
+            std::env::var("KDOM_WIRE").as_deref(),
+            Ok("exact") | Ok("1") | Ok("on")
+        );
         EngineConfig {
             threads,
             scheduling,
@@ -153,6 +166,7 @@ impl EngineConfig {
             dense_pct,
             shard_min,
             bit_budget: None,
+            wire_exact,
         }
     }
 
@@ -189,6 +203,12 @@ impl EngineConfig {
     /// Returns the config with a debug-build CONGEST bit budget.
     pub fn with_bit_budget(mut self, bits: u64) -> Self {
         self.bit_budget = Some(bits);
+        self
+    }
+
+    /// Returns the config with wire-exact execution enabled or not.
+    pub fn with_wire_exact(mut self, on: bool) -> Self {
+        self.wire_exact = on;
         self
     }
 }
@@ -1014,6 +1034,7 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             .filter_map(|s| s.violation)
             .min_by_key(|&(v, _)| v);
         let cut_node = cut.map_or(u32::MAX, |(v, _)| v);
+        let wire_exact = self.config.wire_exact;
         let mut round_msgs = 0u64;
         let RoundEngine {
             graph,
@@ -1066,6 +1087,24 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
                     field
                 };
                 debug_assert_eq!(bits, msg.size_bits(), "packed word out of sync");
+                // Wire-exact: what continues from here is the *decoded*
+                // frame, so the receiving automaton provably depends only
+                // on the bits that were on the wire.
+                let msg = if wire_exact {
+                    match crate::wire::round_trip(&msg) {
+                        Ok(decoded) => decoded,
+                        Err(detail) => {
+                            return Err(SimError::WireMismatch {
+                                node: NodeId(v),
+                                port: Port(p),
+                                round,
+                                detail,
+                            });
+                        }
+                    }
+                } else {
+                    msg
+                };
                 report.messages += 1;
                 report.total_bits += bits;
                 report.max_message_bits = report.max_message_bits.max(bits);
@@ -1253,19 +1292,22 @@ mod tests {
         assert_eq!(cfg.dense_pct, 75);
         assert_eq!(cfg.shard_min, 1024);
         assert_eq!(cfg.bit_budget, None);
+        assert!(!cfg.wire_exact);
         let cfg = cfg
             .with_threads(4)
             .with_scheduling(Scheduling::FullScan)
             .with_fast_forward(false)
             .with_dense_pct(50)
             .with_shard_min(32)
-            .with_bit_budget(96);
+            .with_bit_budget(96)
+            .with_wire_exact(true);
         assert_eq!(cfg.threads, 4);
         assert_eq!(cfg.scheduling, Scheduling::FullScan);
         assert!(!cfg.fast_forward);
         assert_eq!(cfg.dense_pct, 50);
         assert_eq!(cfg.shard_min, 32);
         assert_eq!(cfg.bit_budget, Some(96));
+        assert!(cfg.wire_exact);
         assert_eq!(cfg.with_threads(0).threads, 1, "zero clamps to one");
         assert_eq!(cfg.with_shard_min(0).shard_min, 1, "zero clamps to one");
     }

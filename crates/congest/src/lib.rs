@@ -6,7 +6,8 @@
 //! * a node may send **at most one message per incident edge per round**
 //!   (enforced — a double send aborts the run with
 //!   [`SimError::CongestViolation`]);
-//! * messages carry `O(log n)` bits (accounted via [`Message::size_bits`]
+//! * messages carry `O(log n)` bits (accounted via [`Message::size_bits`],
+//!   which is *derived* from the message's bit-exact [`wire`] encoding,
 //!   and reported in [`RunReport`]; the experiments check the bound);
 //! * nodes have unique identifiers and know the weights of incident edges.
 //!
@@ -22,6 +23,7 @@
 //!
 //! #[derive(Clone, Debug)]
 //! struct Token;
+//! kdom_congest::impl_wire_empty!(Token); // zero payload bits on the wire
 //! impl Message for Token {}
 //!
 //! struct Flood { seen: bool, origin: bool }
@@ -66,6 +68,7 @@ pub mod reliable;
 mod report;
 mod sim;
 pub mod trace;
+pub mod wire;
 
 pub use alpha::{
     run_protocol_alpha, run_protocol_alpha_faulty, run_protocol_alpha_reliable, AlphaReport,
@@ -81,3 +84,4 @@ pub use sim::{
     Wake, CONGEST_WORD_BITS,
 };
 pub use trace::{JsonlSink, MemorySink, TraceEvent, TraceSink, TraceSummary};
+pub use wire::{BitReader, BitWriter, Wire, WireError, WireFrame};

@@ -10,15 +10,22 @@ use crate::report::RunReport;
 
 /// A message that can travel over an edge.
 ///
-/// `size_bits` feeds the CONGEST bit accounting; the default (64) models a
-/// constant number of `O(log n)` words. Implementations carrying edge
-/// descriptions (id, id, weight) should override it. The `Send` bound
-/// lets the engine's parallel compute phase move messages across worker
-/// shards; protocol messages are plain data, so it is automatic.
-pub trait Message: Clone + fmt::Debug + Send {
-    /// Size of this message in bits, for the [`RunReport`] accounting.
+/// Every message must define a bit-exact encoding via
+/// [`Wire`](crate::wire::Wire) — there is deliberately no default, so an
+/// unencoded message type fails to compile instead of silently
+/// mis-charging the CONGEST accounting. `size_bits` is *derived* from
+/// the encoded length (a zero-allocation counting pass over
+/// [`Wire::encode`](crate::wire::Wire::encode)), and wire-exact
+/// execution (`KDOM_WIRE=exact`) routes every send through the real
+/// frame. The `Send` bound lets the engine's parallel compute phase move
+/// messages across worker shards; protocol messages are plain data, so
+/// it is automatic.
+pub trait Message: Clone + fmt::Debug + Send + crate::wire::Wire {
+    /// Exact size of this message's wire encoding in bits, for the
+    /// [`RunReport`] accounting. Provided — do not override; the single
+    /// source of truth is the [`Wire`](crate::wire::Wire) encoding.
     fn size_bits(&self) -> u64 {
-        64
+        self.encoded_bits()
     }
 }
 
@@ -335,6 +342,19 @@ pub enum SimError {
         /// The checker's explanation.
         detail: String,
     },
+    /// Wire-exact execution (`KDOM_WIRE=exact`) found a message whose
+    /// frame failed to decode, or whose decoded form disagrees with what
+    /// was sent — the codec and the message type are out of sync.
+    WireMismatch {
+        /// The sending node.
+        node: NodeId,
+        /// The port the message was sent on.
+        port: Port,
+        /// The round (or virtual time, for the α executor) of the send.
+        round: u64,
+        /// What the round trip got wrong.
+        detail: String,
+    },
     /// The reliable-delivery layer gave up on a link after exhausting its
     /// retransmission budget (asynchronous executor only).
     DeliveryExhausted {
@@ -373,6 +393,15 @@ impl fmt::Display for SimError {
             } => {
                 write!(f, "invariant '{name}' violated at round {round}: {detail}")
             }
+            SimError::WireMismatch {
+                node,
+                port,
+                round,
+                detail,
+            } => write!(
+                f,
+                "wire round-trip mismatch on {node:?} {port:?} at {round}: {detail}"
+            ),
             SimError::DeliveryExhausted {
                 node,
                 port,
@@ -673,11 +702,15 @@ mod tests {
     /// Distributed BFS used as the simulator's own smoke test.
     #[derive(Clone, Debug)]
     struct Dist(u32);
-    impl Message for Dist {
-        fn size_bits(&self) -> u64 {
-            32
+    impl crate::wire::Wire for Dist {
+        fn encode(&self, w: &mut crate::wire::BitWriter) {
+            w.u32(self.0);
+        }
+        fn decode(r: &mut crate::wire::BitReader<'_>) -> Result<Self, crate::wire::WireError> {
+            Ok(Dist(r.u32()?))
         }
     }
+    impl Message for Dist {}
 
     #[derive(Debug)]
     struct Bfs {
@@ -752,6 +785,7 @@ mod tests {
         struct Chatter;
         #[derive(Clone, Debug)]
         struct Ping;
+        crate::impl_wire_empty!(Ping);
         impl Message for Ping {}
         impl Protocol for Chatter {
             type Msg = Ping;
@@ -784,6 +818,7 @@ mod tests {
         struct Bad;
         #[derive(Clone, Debug)]
         struct Ping;
+        crate::impl_wire_empty!(Ping);
         impl Message for Ping {}
         impl Protocol for Bad {
             type Msg = Ping;
@@ -814,6 +849,14 @@ mod tests {
         // arrival port's neighbor_id matches.
         #[derive(Clone, Debug)]
         struct IdMsg(u64);
+        impl crate::wire::Wire for IdMsg {
+            fn encode(&self, w: &mut crate::wire::BitWriter) {
+                w.word(self.0);
+            }
+            fn decode(r: &mut crate::wire::BitReader<'_>) -> Result<Self, crate::wire::WireError> {
+                Ok(IdMsg(r.word()?))
+            }
+        }
         impl Message for IdMsg {}
         struct Check {
             ok: bool,
@@ -862,6 +905,7 @@ mod tests {
         }
         #[derive(Clone, Debug)]
         struct Ping;
+        crate::impl_wire_empty!(Ping);
         impl Message for Ping {}
         impl Protocol for Mid {
             type Msg = Ping;
@@ -949,6 +993,7 @@ mod tests {
         }
         #[derive(Clone, Debug)]
         struct Ping;
+        crate::impl_wire_empty!(Ping);
         impl Message for Ping {}
         impl Protocol for Count {
             type Msg = Ping;
@@ -1001,6 +1046,75 @@ mod tests {
         assert_eq!(name, "no-depth-beyond-1");
         assert!(round >= 2);
         assert!(detail.contains("depth 2"));
+    }
+
+    /// The packed per-message meta word stores `size_bits` in 20 bits;
+    /// frames over `2^20 − 1` bits collapse into the all-ones sentinel and
+    /// the merge recomputes their size from the message itself. Push a
+    /// frame over 1 Mbit through a real run and check the accounting
+    /// took the recompute path, not the truncated field.
+    #[test]
+    fn oversized_frame_accounting_survives_meta_sentinel() {
+        /// `words` zero-words plus a 32-bit count — sized well past 2^20 bits.
+        #[derive(Clone, Debug, PartialEq)]
+        struct Huge {
+            words: u32,
+        }
+        impl crate::wire::Wire for Huge {
+            fn encode(&self, w: &mut crate::wire::BitWriter) {
+                w.u32(self.words);
+                for _ in 0..self.words {
+                    w.word(0);
+                }
+            }
+            fn decode(r: &mut crate::wire::BitReader<'_>) -> Result<Self, crate::wire::WireError> {
+                let words = r.u32()?;
+                for _ in 0..words {
+                    r.word()?;
+                }
+                Ok(Huge { words })
+            }
+        }
+        impl Message for Huge {}
+
+        #[derive(Debug)]
+        struct Shout {
+            origin: bool,
+            heard_bits: Option<u64>,
+        }
+        impl Protocol for Shout {
+            type Msg = Huge;
+            fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Port, Huge)], out: &mut Outbox<Huge>) {
+                if self.origin && ctx.round == 0 {
+                    out.broadcast(Huge { words: 25_000 });
+                }
+                if let Some((_, m)) = inbox.first() {
+                    self.heard_bits = Some(m.size_bits());
+                }
+            }
+            fn is_done(&self) -> bool {
+                self.origin || self.heard_bits.is_some()
+            }
+        }
+
+        let huge_bits = Huge { words: 25_000 }.size_bits();
+        assert!(huge_bits > (1 << 20), "frame must exceed the meta field");
+        let g = path(&GenConfig::with_seed(2, 0));
+        let nodes = vec![
+            Shout {
+                origin: true,
+                heard_bits: None,
+            },
+            Shout {
+                origin: false,
+                heard_bits: None,
+            },
+        ];
+        let (nodes, report) = run_protocol(&g, nodes, 100).unwrap();
+        assert_eq!(nodes[1].heard_bits, Some(huge_bits), "payload intact");
+        assert_eq!(report.messages, 1);
+        assert_eq!(report.total_bits, huge_bits, "recomputed, not truncated");
+        assert_eq!(report.max_message_bits, huge_bits);
     }
 
     #[test]

@@ -1,0 +1,617 @@
+//! Bit-exact wire codec: the ground truth behind every `size_bits`.
+//!
+//! The CONGEST model's defining constraint is `O(log n)`-bit messages,
+//! but an accounting layer is only as honest as its byte counts. This
+//! module replaces hand-maintained size constants with a real encoding:
+//! every [`Message`](crate::Message) implements [`Wire`], and
+//! `size_bits` is *derived* from the encoded length (a zero-allocation
+//! counting pass over [`Wire::encode`]). The engine's wire-exact mode
+//! ([`EngineConfig::with_wire_exact`](crate::EngineConfig::with_wire_exact),
+//! `KDOM_WIRE=exact`) goes further: it routes every message through
+//! [`Wire::to_frame`] at send and [`Wire::from_frame`] at delivery,
+//! proving the automata depend only on what is actually on the wire.
+//!
+//! # Conventions
+//!
+//! * Fields are written LSB-first into a little-endian `u64` stream.
+//! * A "word" is [`CONGEST_WORD_BITS`] = 48 bits — the repo-wide
+//!   convention that node ids and edge weights are `u64` values below
+//!   2^48. The [`BitWriter::word`] helper *asserts* that convention, so
+//!   an out-of-range id can no longer be silently under-priced.
+//! * Enum discriminants use fixed-width tags of [`tag_bits`]`(variants)`
+//!   bits ([`BitWriter::tag`] / [`BitReader::tag`]).
+//! * Frames are length-delimited (real links frame their payloads, and
+//!   the simulator's packed metadata carries `size_bits` anyway), so a
+//!   decoder may branch on [`BitReader::remaining`]. Enums whose widest
+//!   variant cannot afford a tag (the MST pipeline's 3-word edge
+//!   descriptor) use this to stay within their word budget. For
+//!   length-based dispatch to compose, a message payload must always be
+//!   the *tail* of any enclosing frame — the α/ARQ control frames keep
+//!   that invariant.
+
+use std::fmt;
+
+use crate::sim::CONGEST_WORD_BITS;
+
+/// Number of bits a fixed-width enum tag needs for `variants` variants:
+/// `ceil(log2(variants))`, with 0 for single-variant types.
+#[must_use]
+pub const fn tag_bits(variants: u64) -> u32 {
+    if variants <= 1 {
+        0
+    } else {
+        64 - (variants - 1).leading_zeros()
+    }
+}
+
+/// An encoded message: the exact bits that travel over a link.
+///
+/// Equality is bit-exact — two frames are equal iff they have the same
+/// length and the same bit content.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireFrame {
+    words: Vec<u64>,
+    bits: u64,
+}
+
+impl WireFrame {
+    /// Length of the frame in bits — by construction equal to the
+    /// encoder's bit count, and therefore to `Message::size_bits`.
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+}
+
+/// Errors a [`Wire::decode`] implementation can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The decoder tried to read past the end of the frame.
+    Overrun {
+        /// Bit position at which the read started.
+        at: u64,
+        /// Width of the attempted read.
+        want: u32,
+        /// Total frame length in bits.
+        len: u64,
+    },
+    /// A discriminant value matched no variant.
+    BadTag {
+        /// The type being decoded.
+        context: &'static str,
+        /// The offending tag value.
+        value: u64,
+    },
+    /// A length-delimited enum saw a frame length matching no variant.
+    BadLength {
+        /// The type being decoded.
+        context: &'static str,
+        /// The offending remaining-length in bits.
+        bits: u64,
+    },
+    /// Decoding finished with bits left unread — the encoding and the
+    /// decoder disagree about the message layout.
+    Leftover {
+        /// Unread bits at the end of the frame.
+        bits: u64,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Overrun { at, want, len } => {
+                write!(
+                    f,
+                    "read of {want} bits at bit {at} overruns {len}-bit frame"
+                )
+            }
+            WireError::BadTag { context, value } => {
+                write!(f, "{context}: tag value {value} matches no variant")
+            }
+            WireError::BadLength { context, bits } => {
+                write!(f, "{context}: frame length {bits} matches no variant")
+            }
+            WireError::Leftover { bits } => {
+                write!(f, "decode left {bits} bit(s) unread")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only bit stream used by [`Wire::encode`].
+///
+/// [`BitWriter::counter`] builds a writer that only counts — no
+/// allocation, no stores — which is how `size_bits` is derived without
+/// materialising a frame on every send.
+#[derive(Debug)]
+pub struct BitWriter {
+    words: Vec<u64>,
+    bits: u64,
+    counting: bool,
+}
+
+impl Default for BitWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BitWriter {
+    /// A writer that materialises the encoded frame.
+    #[must_use]
+    pub fn new() -> Self {
+        BitWriter {
+            words: Vec::new(),
+            bits: 0,
+            counting: false,
+        }
+    }
+
+    /// A writer that only counts bits (the `size_bits` fast path).
+    #[must_use]
+    pub fn counter() -> Self {
+        BitWriter {
+            words: Vec::new(),
+            bits: 0,
+            counting: true,
+        }
+    }
+
+    /// Bits written so far.
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Appends the low `width` bits of `value` (`width ≤ 64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` has bits above `width` — an encoding that
+    /// silently truncates would be a lie about the message's size.
+    pub fn push(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "field width {width} exceeds 64 bits");
+        assert!(
+            width == 64 || value >> width == 0,
+            "value {value:#x} does not fit in {width} bits"
+        );
+        if !self.counting && width > 0 {
+            let idx = (self.bits / 64) as usize;
+            let off = (self.bits % 64) as u32;
+            if idx == self.words.len() {
+                self.words.push(0);
+            }
+            self.words[idx] |= value << off;
+            if off > 0 && off + width > 64 {
+                self.words.push(value >> (64 - off));
+            }
+        }
+        self.bits += u64::from(width);
+    }
+
+    /// Appends one CONGEST word ([`CONGEST_WORD_BITS`] bits), asserting
+    /// the repo-wide id/weight convention `v < 2^48`.
+    pub fn word(&mut self, v: u64) {
+        self.push(v, CONGEST_WORD_BITS as u32);
+    }
+
+    /// Appends a presence flag plus, if present, one CONGEST word.
+    pub fn opt_word(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.flag(true);
+                self.word(x);
+            }
+            None => self.flag(false),
+        }
+    }
+
+    /// Appends a single boolean bit.
+    pub fn flag(&mut self, b: bool) {
+        self.push(u64::from(b), 1);
+    }
+
+    /// Appends a `u32` field.
+    pub fn u32(&mut self, v: u32) {
+        self.push(u64::from(v), 32);
+    }
+
+    /// Appends a presence flag plus, if present, a `u32` field.
+    pub fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            Some(x) => {
+                self.flag(true);
+                self.u32(x);
+            }
+            None => self.flag(false),
+        }
+    }
+
+    /// Appends a `u16` field.
+    pub fn u16(&mut self, v: u16) {
+        self.push(u64::from(v), 16);
+    }
+
+    /// Appends a fixed-width enum tag: `idx` in [`tag_bits`]`(variants)`
+    /// bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= variants`.
+    pub fn tag(&mut self, idx: u64, variants: u64) {
+        assert!(
+            idx < variants,
+            "tag {idx} out of range for {variants} variants"
+        );
+        self.push(idx, tag_bits(variants));
+    }
+
+    /// Finishes the frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a counting writer — it has no frame to yield.
+    #[must_use]
+    pub fn finish(self) -> WireFrame {
+        assert!(!self.counting, "counting writers have no frame");
+        WireFrame {
+            words: self.words,
+            bits: self.bits,
+        }
+    }
+}
+
+/// Cursor over an encoded frame, used by [`Wire::decode`].
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    words: &'a [u64],
+    len: u64,
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// A reader positioned at the start of `frame`.
+    #[must_use]
+    pub fn new(frame: &'a WireFrame) -> Self {
+        BitReader {
+            words: &frame.words,
+            len: frame.bits,
+            pos: 0,
+        }
+    }
+
+    /// Bits left unread. Frames are length-delimited, so decoders may
+    /// dispatch on this (see the module docs).
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.len - self.pos
+    }
+
+    /// Reads the next `width` bits (`width ≤ 64`).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Overrun`] if fewer than `width` bits remain.
+    pub fn pull(&mut self, width: u32) -> Result<u64, WireError> {
+        assert!(width <= 64, "field width {width} exceeds 64 bits");
+        if u64::from(width) > self.remaining() {
+            return Err(WireError::Overrun {
+                at: self.pos,
+                want: width,
+                len: self.len,
+            });
+        }
+        if width == 0 {
+            return Ok(0);
+        }
+        let idx = (self.pos / 64) as usize;
+        let off = (self.pos % 64) as u32;
+        let mut v = self.words[idx] >> off;
+        if off > 0 && off + width > 64 {
+            v |= self.words[idx + 1] << (64 - off);
+        }
+        if width < 64 {
+            v &= (1u64 << width) - 1;
+        }
+        self.pos += u64::from(width);
+        Ok(v)
+    }
+
+    /// Reads one CONGEST word.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Overrun`] if the frame is exhausted.
+    pub fn word(&mut self) -> Result<u64, WireError> {
+        self.pull(CONGEST_WORD_BITS as u32)
+    }
+
+    /// Reads a presence flag plus, if set, one CONGEST word.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Overrun`] if the frame is exhausted.
+    pub fn opt_word(&mut self) -> Result<Option<u64>, WireError> {
+        Ok(if self.flag()? {
+            Some(self.word()?)
+        } else {
+            None
+        })
+    }
+
+    /// Reads a single boolean bit.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Overrun`] if the frame is exhausted.
+    pub fn flag(&mut self) -> Result<bool, WireError> {
+        Ok(self.pull(1)? != 0)
+    }
+
+    /// Reads a `u32` field.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Overrun`] if the frame is exhausted.
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(self.pull(32)? as u32)
+    }
+
+    /// Reads a presence flag plus, if set, a `u32` field.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Overrun`] if the frame is exhausted.
+    pub fn opt_u32(&mut self) -> Result<Option<u32>, WireError> {
+        Ok(if self.flag()? {
+            Some(self.u32()?)
+        } else {
+            None
+        })
+    }
+
+    /// Reads a `u16` field.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Overrun`] if the frame is exhausted.
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(self.pull(16)? as u16)
+    }
+
+    /// Reads a fixed-width enum tag of [`tag_bits`]`(variants)` bits.
+    /// The caller still matches the value — widths that are not a power
+    /// of two leave unused tag codes, which must decode to
+    /// [`WireError::BadTag`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Overrun`] if the frame is exhausted.
+    pub fn tag(&mut self, variants: u64) -> Result<u64, WireError> {
+        self.pull(tag_bits(variants))
+    }
+}
+
+/// A type with a bit-exact wire encoding.
+///
+/// `encode` and `decode` must be inverses; the provided methods derive
+/// everything else. [`Message`](crate::Message) requires this trait, so
+/// a message type without an encoding no longer compiles — there is no
+/// default size to hide behind.
+pub trait Wire: Sized {
+    /// Appends this value's encoding to `w`.
+    fn encode(&self, w: &mut BitWriter);
+
+    /// Decodes one value from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] on a malformed frame.
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError>;
+
+    /// Exact encoded length in bits, via a zero-allocation counting
+    /// pass. This is the single source of truth behind
+    /// [`Message::size_bits`](crate::Message::size_bits).
+    fn encoded_bits(&self) -> u64 {
+        let mut w = BitWriter::counter();
+        self.encode(&mut w);
+        w.bits()
+    }
+
+    /// Encodes into a materialised frame.
+    fn to_frame(&self) -> WireFrame {
+        let mut w = BitWriter::new();
+        self.encode(&mut w);
+        w.finish()
+    }
+
+    /// Decodes a full frame, requiring every bit to be consumed.
+    ///
+    /// # Errors
+    ///
+    /// Any decode error, or [`WireError::Leftover`] if the frame is
+    /// longer than the decoded value's encoding.
+    fn from_frame(frame: &WireFrame) -> Result<Self, WireError> {
+        let mut r = BitReader::new(frame);
+        let v = Self::decode(&mut r)?;
+        match r.remaining() {
+            0 => Ok(v),
+            bits => Err(WireError::Leftover { bits }),
+        }
+    }
+}
+
+/// Encodes `value` to a frame, decodes it back, and verifies the round
+/// trip three ways: the decode must consume the frame exactly, the
+/// decoded value must re-encode to the identical frame, and its `Debug`
+/// rendering must match the original's (catching lossy encodings that
+/// happen to re-encode stably). Returns the decoded value — wire-exact
+/// execution delivers *it*, not the original, so the automata provably
+/// depend only on the bits.
+///
+/// # Errors
+///
+/// A human-readable description of the first mismatch.
+pub fn round_trip<T: Wire + fmt::Debug>(value: &T) -> Result<T, String> {
+    let frame = value.to_frame();
+    let decoded = T::from_frame(&frame).map_err(|e| format!("decode failed: {e}"))?;
+    let reencoded = decoded.to_frame();
+    if reencoded != frame {
+        return Err(format!(
+            "re-encode differs from the sent frame ({} vs {} bits)",
+            reencoded.bits(),
+            frame.bits()
+        ));
+    }
+    let (sent, got) = (format!("{value:?}"), format!("{decoded:?}"));
+    if sent != got {
+        return Err(format!(
+            "round trip changed the message: sent {sent}, decoded {got}"
+        ));
+    }
+    Ok(decoded)
+}
+
+/// Implements [`Wire`] for payload-free marker messages (unit structs):
+/// zero encoded bits — the frame's arrival is the entire signal.
+#[macro_export]
+macro_rules! impl_wire_empty {
+    ($($t:ty),+ $(,)?) => {$(
+        impl $crate::wire::Wire for $t {
+            fn encode(&self, _w: &mut $crate::wire::BitWriter) {}
+            fn decode(
+                _r: &mut $crate::wire::BitReader<'_>,
+            ) -> Result<Self, $crate::wire::WireError> {
+                Ok(Self)
+            }
+        }
+    )+};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_widths() {
+        assert_eq!(tag_bits(1), 0);
+        assert_eq!(tag_bits(2), 1);
+        assert_eq!(tag_bits(3), 2);
+        assert_eq!(tag_bits(4), 2);
+        assert_eq!(tag_bits(5), 3);
+        assert_eq!(tag_bits(8), 3);
+        assert_eq!(tag_bits(9), 4);
+    }
+
+    #[test]
+    fn push_pull_round_trips_across_word_boundaries() {
+        let mut w = BitWriter::new();
+        let fields: &[(u64, u32)] = &[
+            (0b101, 3),
+            (u64::MAX >> 16, 48),
+            (1, 1),
+            (0xDEAD_BEEF, 32),
+            (u64::MAX, 64),
+            (0, 7),
+            ((1 << 47) | 1, 48),
+        ];
+        for &(v, width) in fields {
+            w.push(v, width);
+        }
+        let total: u64 = fields.iter().map(|&(_, w)| u64::from(w)).sum();
+        assert_eq!(w.bits(), total);
+        let frame = w.finish();
+        assert_eq!(frame.bits(), total);
+        let mut r = BitReader::new(&frame);
+        for &(v, width) in fields {
+            assert_eq!(r.pull(width).unwrap(), v, "width {width}");
+        }
+        assert_eq!(r.remaining(), 0);
+        assert!(matches!(r.pull(1), Err(WireError::Overrun { .. })));
+    }
+
+    #[test]
+    fn counting_writer_matches_materialised_length() {
+        let mut a = BitWriter::new();
+        let mut b = BitWriter::counter();
+        for w in [&mut a, &mut b] {
+            w.word(12345);
+            w.opt_word(Some(7));
+            w.opt_word(None);
+            w.flag(true);
+            w.u32(99);
+            w.u16(3);
+            w.tag(4, 5);
+        }
+        assert_eq!(a.bits(), b.bits());
+        assert_eq!(a.finish().bits(), b.bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_field_value_panics() {
+        BitWriter::new().push(1 << 10, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn word_asserts_the_48_bit_convention() {
+        BitWriter::new().word(1 << 48);
+    }
+
+    #[test]
+    fn from_frame_rejects_leftover_bits() {
+        #[derive(Clone, Debug, PartialEq)]
+        struct Two(u64);
+        impl Wire for Two {
+            fn encode(&self, w: &mut BitWriter) {
+                w.push(self.0, 2);
+            }
+            fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+                Ok(Two(r.pull(2)?))
+            }
+        }
+        let mut w = BitWriter::new();
+        w.push(0b10, 2);
+        w.push(0b1, 1); // one trailing bit the decoder never reads
+        let err = Two::from_frame(&w.finish()).unwrap_err();
+        assert_eq!(err, WireError::Leftover { bits: 1 });
+        assert_eq!(Two::from_frame(&Two(2).to_frame()).unwrap(), Two(2));
+    }
+
+    #[test]
+    fn round_trip_catches_lossy_encodings() {
+        // Encodes only the low 4 bits but remembers 8: decode loses
+        // information while re-encoding stably — only the Debug
+        // comparison can see it.
+        #[derive(Debug)]
+        struct Lossy(u64);
+        impl Wire for Lossy {
+            fn encode(&self, w: &mut BitWriter) {
+                w.push(self.0 & 0xF, 4);
+            }
+            fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+                Ok(Lossy(r.pull(4)?))
+            }
+        }
+        assert!(round_trip(&Lossy(0x5)).is_ok());
+        let err = round_trip(&Lossy(0xF5)).unwrap_err();
+        assert!(err.contains("changed the message"), "{err}");
+    }
+
+    #[test]
+    fn empty_markers_encode_to_zero_bits() {
+        #[derive(Clone, Debug)]
+        struct Ping;
+        crate::impl_wire_empty!(Ping);
+        assert_eq!(Ping.encoded_bits(), 0);
+        let frame = Ping.to_frame();
+        assert_eq!(frame.bits(), 0);
+        assert!(Ping::from_frame(&frame).is_ok());
+    }
+}

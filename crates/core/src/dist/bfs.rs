@@ -7,11 +7,12 @@
 //! node knows its parent port, its depth, and its child ports — the
 //! substrate Procedure `Initialize` and `Pipeline` build on.
 
+use kdom_congest::wire::{BitReader, BitWriter, Wire, WireError};
 use kdom_congest::{Message, NodeCtx, Outbox, Port, Protocol, Wake};
 use kdom_graph::{Graph, NodeId};
 
 /// BFS protocol messages.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum BfsMsg {
     /// "Your distance from the root is at most this plus one."
     Dist(u32),
@@ -19,14 +20,26 @@ pub enum BfsMsg {
     Child,
 }
 
-impl Message for BfsMsg {
-    fn size_bits(&self) -> u64 {
+impl Wire for BfsMsg {
+    fn encode(&self, w: &mut BitWriter) {
         match self {
-            BfsMsg::Dist(_) => 32,
-            BfsMsg::Child => 1,
+            BfsMsg::Dist(d) => {
+                w.tag(0, 2);
+                w.u32(*d);
+            }
+            BfsMsg::Child => w.tag(1, 2),
         }
     }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.tag(2)? {
+            0 => BfsMsg::Dist(r.u32()?),
+            _ => BfsMsg::Child,
+        })
+    }
 }
+
+impl Message for BfsMsg {}
 
 /// Per-node BFS automaton.
 #[derive(Clone, Debug)]

@@ -10,6 +10,7 @@
 //! coordination beyond knowing the id width — the standard "nodes know
 //! n" assumption.
 
+use kdom_congest::wire::{BitReader, BitWriter, Wire, WireError};
 use kdom_congest::{Message, NodeCtx, Outbox, Port, Protocol};
 
 /// Number of Cole–Vishkin iterations needed to reduce a proper coloring
@@ -45,9 +46,9 @@ fn cv_step(own: u64, parent: u64) -> u64 {
 }
 
 /// `BalancedDOM` messages.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum BdMsg {
-    /// Current Cole–Vishkin color.
+    /// Current Cole–Vishkin color (starts as an id, so one CONGEST word).
     Color(u64),
     /// "I joined the MIS."
     Join,
@@ -59,14 +60,38 @@ pub enum BdMsg {
     NewDom,
 }
 
-impl Message for BdMsg {
-    fn size_bits(&self) -> u64 {
+impl Wire for BdMsg {
+    fn encode(&self, w: &mut BitWriter) {
         match self {
-            BdMsg::Color(_) => 48,
-            _ => 3,
+            BdMsg::Color(c) => {
+                w.tag(0, 5);
+                w.word(*c);
+            }
+            BdMsg::Join => w.tag(1, 5),
+            BdMsg::Choose => w.tag(2, 5),
+            BdMsg::Select => w.tag(3, 5),
+            BdMsg::NewDom => w.tag(4, 5),
         }
     }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.tag(5)? {
+            0 => BdMsg::Color(r.word()?),
+            1 => BdMsg::Join,
+            2 => BdMsg::Choose,
+            3 => BdMsg::Select,
+            4 => BdMsg::NewDom,
+            value => {
+                return Err(WireError::BadTag {
+                    context: "BdMsg",
+                    value,
+                })
+            }
+        })
+    }
 }
+
+impl Message for BdMsg {}
 
 /// Static configuration of a node for one `BalancedDOM` run.
 #[derive(Clone, Debug)]

@@ -17,6 +17,7 @@
 //! If `k ≥ M` the root short-circuits to the root-only mode, exactly as
 //! the `k ≥ h` case of Lemma 2.1.
 
+use kdom_congest::wire::{BitReader, BitWriter, Wire, WireError};
 use kdom_congest::{Message, NodeCtx, Outbox, Port, Protocol, RunReport};
 use kdom_graph::{Graph, NodeId};
 
@@ -31,8 +32,28 @@ pub enum Chosen {
     Level(u16),
 }
 
+impl Wire for Chosen {
+    fn encode(&self, w: &mut BitWriter) {
+        match self {
+            Chosen::RootOnly => w.flag(false),
+            Chosen::Level(l) => {
+                w.flag(true);
+                w.u16(*l);
+            }
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        Ok(if r.flag()? {
+            Chosen::Level(r.u16()?)
+        } else {
+            Chosen::RootOnly
+        })
+    }
+}
+
 /// `DiamDOM` protocol messages.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DdMsg {
     /// Depth wave: the sender's depth.
     Depth(u32),
@@ -58,17 +79,63 @@ pub enum DdMsg {
     Claim(u64),
 }
 
-impl Message for DdMsg {
-    fn size_bits(&self) -> u64 {
+impl Wire for DdMsg {
+    fn encode(&self, w: &mut BitWriter) {
         match self {
-            DdMsg::Depth(_) | DdMsg::EchoMax(_) => 32,
-            DdMsg::MInfo { .. } => 64,
-            DdMsg::Census { .. } => 48,
-            DdMsg::Decision(_) => 17,
-            DdMsg::Claim(_) => 48,
+            DdMsg::Depth(d) => {
+                w.tag(0, 6);
+                w.u32(*d);
+            }
+            DdMsg::EchoMax(d) => {
+                w.tag(1, 6);
+                w.u32(*d);
+            }
+            DdMsg::MInfo { m, t1 } => {
+                w.tag(2, 6);
+                w.u32(*m);
+                w.word(*t1); // a round number, far below 2^48
+            }
+            DdMsg::Census { l, count } => {
+                w.tag(3, 6);
+                w.u16(*l);
+                w.u32(*count);
+            }
+            DdMsg::Decision(c) => {
+                w.tag(4, 6);
+                c.encode(w);
+            }
+            DdMsg::Claim(id) => {
+                w.tag(5, 6);
+                w.word(*id);
+            }
         }
     }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.tag(6)? {
+            0 => DdMsg::Depth(r.u32()?),
+            1 => DdMsg::EchoMax(r.u32()?),
+            2 => DdMsg::MInfo {
+                m: r.u32()?,
+                t1: r.word()?,
+            },
+            3 => DdMsg::Census {
+                l: r.u16()?,
+                count: r.u32()?,
+            },
+            4 => DdMsg::Decision(Chosen::decode(r)?),
+            5 => DdMsg::Claim(r.word()?),
+            value => {
+                return Err(WireError::BadTag {
+                    context: "DdMsg",
+                    value,
+                })
+            }
+        })
+    }
 }
+
+impl Message for DdMsg {}
 
 /// Static per-node configuration: the cluster tree around this node.
 #[derive(Clone, Debug)]

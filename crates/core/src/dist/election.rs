@@ -8,18 +8,25 @@
 //! unique maximum has flooded everywhere and its holder knows it is the
 //! leader.
 
+use kdom_congest::wire::{BitReader, BitWriter, Wire, WireError};
 use kdom_congest::{Message, NodeCtx, Outbox, Port, Protocol, RunReport};
 use kdom_graph::{Graph, NodeId};
 
-/// The largest id seen so far.
-#[derive(Clone, Debug)]
+/// The largest id seen so far: a single 48-bit CONGEST word.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Best(pub u64);
 
-impl Message for Best {
-    fn size_bits(&self) -> u64 {
-        48
+impl Wire for Best {
+    fn encode(&self, w: &mut BitWriter) {
+        w.word(self.0);
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        Ok(Best(r.word()?))
     }
 }
+
+impl Message for Best {}
 
 /// Per-node election automaton.
 #[derive(Clone, Debug)]

@@ -18,13 +18,14 @@
 //! cross-checked for exact structural equality against the sequential
 //! reference in [`crate::fragments`].
 
+use kdom_congest::wire::{BitReader, BitWriter, Wire, WireError};
 use kdom_congest::{Message, NodeCtx, Outbox, Port, Protocol, RunReport, Wake};
 use kdom_graph::{EdgeId, Graph, NodeId};
 
 use crate::logstar::ceil_log2;
 
 /// `SimpleMST` messages.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FrMsg {
     /// Depth probe with remaining hops and the (fresh) root id.
     Probe {
@@ -48,16 +49,58 @@ pub enum FrMsg {
     Connect(u64),
 }
 
-impl Message for FrMsg {
-    fn size_bits(&self) -> u64 {
+impl Wire for FrMsg {
+    fn encode(&self, w: &mut BitWriter) {
         match self {
-            FrMsg::Probe { .. } => 80,
-            FrMsg::EchoDeep(_) | FrMsg::Activate | FrMsg::Transfer => 2,
-            FrMsg::FragId(_) | FrMsg::Connect(_) => 48,
-            FrMsg::MwoeUp(_) => 65,
+            FrMsg::Probe { hops, root_id } => {
+                w.tag(0, 7);
+                w.u32(*hops);
+                w.word(*root_id);
+            }
+            FrMsg::EchoDeep(deep) => {
+                w.tag(1, 7);
+                w.flag(*deep);
+            }
+            FrMsg::Activate => w.tag(2, 7),
+            FrMsg::FragId(id) => {
+                w.tag(3, 7);
+                w.word(*id);
+            }
+            FrMsg::MwoeUp(best) => {
+                w.tag(4, 7);
+                w.opt_word(*best);
+            }
+            FrMsg::Transfer => w.tag(5, 7),
+            FrMsg::Connect(id) => {
+                w.tag(6, 7);
+                w.word(*id);
+            }
         }
     }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.tag(7)? {
+            0 => FrMsg::Probe {
+                hops: r.u32()?,
+                root_id: r.word()?,
+            },
+            1 => FrMsg::EchoDeep(r.flag()?),
+            2 => FrMsg::Activate,
+            3 => FrMsg::FragId(r.word()?),
+            4 => FrMsg::MwoeUp(r.opt_word()?),
+            5 => FrMsg::Transfer,
+            6 => FrMsg::Connect(r.word()?),
+            value => {
+                return Err(WireError::BadTag {
+                    context: "FrMsg",
+                    value,
+                })
+            }
+        })
+    }
 }
+
+impl Message for FrMsg {}
 
 /// Where a subtree's best outgoing edge came from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -25,6 +25,7 @@
 //! a Down broadcast (`R+1`), one Cross round at the boundaries, and an
 //! aggregating Up convergecast (`R+1`).
 
+use kdom_congest::wire::{BitReader, BitWriter, Wire, WireError};
 use kdom_congest::{Message, NodeCtx, Outbox, Port, Protocol, RunReport};
 use kdom_graph::{Graph, NodeId, RootedTree};
 
@@ -33,8 +34,37 @@ use crate::logstar::ceil_log2;
 
 const NONE64: u64 = u64::MAX;
 
+/// Width of one aggregate slot payload: a CONGEST word plus two packed
+/// boolean flags. The Info segment's topmost crossing folds
+/// `parent_cluster << 2 | parent_in_mis << 1 | present` into the `c`
+/// slot, so slots are two bits wider than a bare 48-bit word.
+const SLOT_BITS: u32 = 50;
+
+/// Payload slots hold either a packed value (< 2^[`SLOT_BITS`]) or the
+/// in-memory absence sentinel [`NONE64`]; on the wire the sentinel
+/// travels as a cleared presence flag, not as 64 raw bits.
+fn put_slot(w: &mut BitWriter, v: u64) {
+    if v == NONE64 {
+        w.flag(false);
+    } else {
+        w.flag(true);
+        w.push(v, SLOT_BITS);
+    }
+}
+
+fn get_slot(r: &mut BitReader<'_>) -> Result<u64, WireError> {
+    Ok(if r.flag()? {
+        r.pull(SLOT_BITS)?
+    } else {
+        NONE64
+    })
+}
+
+/// Width of the segment-discriminator field (codes run 0..=36).
+const SEG_BITS: u32 = 6;
+
 /// Wire messages of the distributed partition.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum P1Msg {
     /// Iteration-start exchange: the sender's cluster id.
     Xchg(u64),
@@ -74,17 +104,73 @@ pub enum P1Msg {
     },
 }
 
-impl Message for P1Msg {
-    fn size_bits(&self) -> u64 {
+impl Wire for P1Msg {
+    fn encode(&self, w: &mut BitWriter) {
         match self {
-            P1Msg::Xchg(_) => 48,
-            P1Msg::Down { .. } => 56,
-            P1Msg::Up { .. } => 152,
-            P1Msg::Cross { .. } => 104,
-            P1Msg::Wave { .. } => 80,
+            P1Msg::Xchg(cl) => {
+                w.tag(0, 5);
+                w.word(*cl);
+            }
+            P1Msg::Down { seg, a } => {
+                w.tag(1, 5);
+                w.push(u64::from(*seg), SEG_BITS);
+                put_slot(w, *a);
+            }
+            P1Msg::Up { seg, a, b, c } => {
+                w.tag(2, 5);
+                w.push(u64::from(*seg), SEG_BITS);
+                put_slot(w, *a);
+                put_slot(w, *b);
+                put_slot(w, *c);
+            }
+            P1Msg::Cross { seg, cluster, a } => {
+                w.tag(3, 5);
+                w.push(u64::from(*seg), SEG_BITS);
+                w.word(*cluster);
+                put_slot(w, *a);
+            }
+            P1Msg::Wave { cluster, depth } => {
+                w.tag(4, 5);
+                w.word(*cluster);
+                w.u32(*depth);
+            }
         }
     }
+
+    #[allow(clippy::cast_possible_truncation)]
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.tag(5)? {
+            0 => P1Msg::Xchg(r.word()?),
+            1 => P1Msg::Down {
+                seg: r.pull(SEG_BITS)? as u8,
+                a: get_slot(r)?,
+            },
+            2 => P1Msg::Up {
+                seg: r.pull(SEG_BITS)? as u8,
+                a: get_slot(r)?,
+                b: get_slot(r)?,
+                c: get_slot(r)?,
+            },
+            3 => P1Msg::Cross {
+                seg: r.pull(SEG_BITS)? as u8,
+                cluster: r.word()?,
+                a: get_slot(r)?,
+            },
+            4 => P1Msg::Wave {
+                cluster: r.word()?,
+                depth: r.u32()?,
+            },
+            value => {
+                return Err(WireError::BadTag {
+                    context: "P1Msg",
+                    value,
+                })
+            }
+        })
+    }
 }
+
+impl Message for P1Msg {}
 
 /// Segment kinds within one iteration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

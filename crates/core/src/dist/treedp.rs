@@ -8,10 +8,11 @@
 //! rounds per cluster, all clusters in parallel — the same complexity
 //! class as `DiamDOM`, with the theorem-exact `⌊|C|/(k+1)⌋` output size.
 
+use kdom_congest::wire::{BitReader, BitWriter, Wire, WireError};
 use kdom_congest::{Message, NodeCtx, Outbox, Port, Protocol};
 
 /// Distributed-DP messages.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DpMsg {
     /// Convergecast payload: the subtree's DP state and height.
     Up {
@@ -33,15 +34,46 @@ pub enum DpMsg {
     Claim(u64),
 }
 
-impl Message for DpMsg {
-    fn size_bits(&self) -> u64 {
+impl Wire for DpMsg {
+    fn encode(&self, w: &mut BitWriter) {
         match self {
-            DpMsg::Up { .. } => 3 * 32,
-            DpMsg::Start { .. } => 64,
-            DpMsg::Claim(_) => 48,
+            DpMsg::Up { need, have, height } => {
+                w.tag(0, 3);
+                w.opt_u32(*need);
+                w.opt_u32(*have);
+                w.u32(*height);
+            }
+            DpMsg::Start { t } => {
+                w.tag(1, 3);
+                w.word(*t); // rounds stay far below 2^48
+            }
+            DpMsg::Claim(id) => {
+                w.tag(2, 3);
+                w.word(*id);
+            }
         }
     }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.tag(3)? {
+            0 => DpMsg::Up {
+                need: r.opt_u32()?,
+                have: r.opt_u32()?,
+                height: r.u32()?,
+            },
+            1 => DpMsg::Start { t: r.word()? },
+            2 => DpMsg::Claim(r.word()?),
+            value => {
+                return Err(WireError::BadTag {
+                    context: "DpMsg",
+                    value,
+                })
+            }
+        })
+    }
 }
+
+impl Message for DpMsg {}
 
 /// Static per-node configuration (cluster tree around this node).
 #[derive(Clone, Debug)]

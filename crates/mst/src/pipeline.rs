@@ -26,6 +26,7 @@
 
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
+use kdom_congest::wire::{BitReader, BitWriter, Wire, WireError};
 use kdom_congest::{Message, NodeCtx, Outbox, Port, Protocol, RunReport, Wake};
 use kdom_graph::{Graph, NodeId};
 
@@ -44,7 +45,7 @@ pub struct EdgeDesc {
 }
 
 /// `Pipeline` messages.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PlMsg {
     /// Round-0 cluster-id exchange (classifies inter-cluster edges).
     ClusterId(u64),
@@ -58,15 +59,66 @@ pub enum PlMsg {
     SDone,
 }
 
-impl Message for PlMsg {
-    fn size_bits(&self) -> u64 {
+/// The widest message in the repo is [`PlMsg::Edge`], pinned at *exactly*
+/// three CONGEST words (`congest_budget(3)` = 144 bits) — ids use the
+/// full 48-bit range, so there is no headroom for a discriminant inside
+/// the payload. Frames are length-delimited (see the `wire` module docs),
+/// so the encoding dispatches on length instead: 144 bits is tagless
+/// `Edge`, 49 bits is a 1-bit tag plus a word (`ClusterId`/`SEdge`),
+/// 1 bit is a bare tag (`Done`/`SDone`). No two variants share a length.
+impl Wire for PlMsg {
+    fn encode(&self, w: &mut BitWriter) {
         match self {
-            PlMsg::ClusterId(_) | PlMsg::SEdge(_) => 48,
-            PlMsg::Edge(_) => 3 * 48,
-            PlMsg::Done | PlMsg::SDone => 2,
+            PlMsg::Edge(e) => {
+                w.word(e.w);
+                w.word(e.a);
+                w.word(e.b);
+            }
+            PlMsg::ClusterId(c) => {
+                w.flag(false);
+                w.word(*c);
+            }
+            PlMsg::SEdge(we) => {
+                w.flag(true);
+                w.word(*we);
+            }
+            PlMsg::Done => w.flag(false),
+            PlMsg::SDone => w.flag(true),
         }
     }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.remaining() {
+            144 => PlMsg::Edge(EdgeDesc {
+                w: r.word()?,
+                a: r.word()?,
+                b: r.word()?,
+            }),
+            49 => {
+                if r.flag()? {
+                    PlMsg::SEdge(r.word()?)
+                } else {
+                    PlMsg::ClusterId(r.word()?)
+                }
+            }
+            1 => {
+                if r.flag()? {
+                    PlMsg::SDone
+                } else {
+                    PlMsg::Done
+                }
+            }
+            bits => {
+                return Err(WireError::BadLength {
+                    context: "PlMsg",
+                    bits,
+                })
+            }
+        })
+    }
 }
+
+impl Message for PlMsg {}
 
 /// Static node configuration.
 #[derive(Clone, Debug)]

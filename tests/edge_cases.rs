@@ -38,6 +38,7 @@ fn alpha_round_limit_is_reported() {
     struct Forever;
     #[derive(Clone, Debug)]
     struct Ping;
+    kdom::congest::impl_wire_empty!(Ping);
     impl kdom::congest::Message for Ping {}
     impl kdom::congest::Protocol for Forever {
         type Msg = Ping;

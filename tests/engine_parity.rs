@@ -26,11 +26,12 @@ use kdom::graph::{Graph, NodeId};
 use kdom::mst::fastmst::fast_mst;
 
 /// Every engine configuration the suite must agree across: both
-/// schedulers, 1 vs 4 threads, fast-forward on vs off, and a forced
-/// dense-scan leg. `with_shard_min(32)` lowers the parallel-split
-/// threshold (the default is 1024) so the `n ≥ 128` graphs here make the
-/// 4-thread legs genuinely shard; `with_dense_pct(0)` forces the
-/// adaptive dense fallback on every round.
+/// schedulers, 1 vs 4 threads, fast-forward on vs off, a forced
+/// dense-scan leg, and wire-exact execution (messages round-tripped
+/// through their bit encoding at every hop). `with_shard_min(32)` lowers
+/// the parallel-split threshold (the default is 1024) so the `n ≥ 128`
+/// graphs here make the 4-thread legs genuinely shard; `with_dense_pct(0)`
+/// forces the adaptive dense fallback on every round.
 fn configs() -> Vec<(&'static str, EngineConfig)> {
     let base = EngineConfig::default().with_shard_min(32);
     vec![
@@ -55,6 +56,14 @@ fn configs() -> Vec<(&'static str, EngineConfig)> {
         (
             "active-set/1t/dense",
             base.with_threads(1).with_dense_pct(0),
+        ),
+        (
+            "active-set/1t/wire-exact",
+            base.with_threads(1).with_wire_exact(true),
+        ),
+        (
+            "active-set/4t/wire-exact",
+            base.with_threads(4).with_wire_exact(true),
         ),
     ]
 }
@@ -155,6 +164,7 @@ fn coloring_parity() {
 
 #[derive(Clone, Debug)]
 struct Tok;
+kdom::congest::impl_wire_empty!(Tok);
 impl Message for Tok {}
 
 /// A relay with long silent countdown phases: each node receives the
@@ -545,20 +555,59 @@ fn reliable_alpha_matches_sync() {
     assert_eq!(got, edges, "α MST fragments diverged from sync");
 }
 
+/// Wire-exact α execution — every frame encoded at send, decoded at
+/// delivery, ARQ framing included — must be byte-identical to the
+/// in-memory run: same `AlphaReport`, same node states, same fault
+/// stream. Covers raw α (fault-free) and reliable α under 20% loss with
+/// duplication; the sync executor's wire-exact leg lives in [`configs`].
+#[test]
+fn wire_exact_alpha_parity() {
+    use kdom::congest::AlphaSimulator;
+
+    let g = gnp_connected(&GenConfig::with_seed(90, 13), 0.08);
+    let make = || (0..90).map(|v| BfsNode::new(v == 0)).collect::<Vec<_>>();
+
+    // raw α, fault-free
+    let raw = |exact: bool| {
+        let mut sim = AlphaSimulator::new(&g, make(), 21, 3).wire_exact(exact);
+        let report = sim.run(100_000).expect("α BFS quiesces");
+        (format!("{:?}", sim.into_nodes()), format!("{report:?}"))
+    };
+    assert_eq!(raw(false), raw(true), "raw α diverged under wire-exact");
+
+    // reliable α under loss + duplication
+    let plan = FaultPlan::new(0xEC0DEC).drop_prob(0.2).dup_prob(0.1);
+    let lossy = |exact: bool| {
+        let cfg = kdom::congest::ReliableConfig::for_delays(3, plan.max_extra_delay);
+        let mut sim = AlphaSimulator::with_faults(&g, make(), 21, 3, &plan)
+            .reliable(cfg)
+            .wire_exact(exact);
+        let report = sim.run(500_000).expect("reliable α BFS quiesces");
+        (format!("{:?}", sim.into_nodes()), format!("{report:?}"))
+    };
+    let (dn, dr) = lossy(false);
+    let (wn, wr) = lossy(true);
+    assert_eq!(dr, wr, "reliable-α report diverged under wire-exact");
+    assert_eq!(dn, wn, "reliable-α node states diverged under wire-exact");
+}
+
 /// Composed runners (DiamDOM, FastDOM_T/G, Fast-MST with its Pipeline
 /// stage) read the engine configuration from the environment, so this is
-/// the one test that mutates `KDOM_THREADS`/`KDOM_SCHED`/`KDOM_FASTFWD`
-/// — everything else in the binary uses explicit configs, and Rust runs
-/// tests in one process, so only one env-touching test may exist.
+/// the one test that mutates `KDOM_THREADS`/`KDOM_SCHED`/`KDOM_FASTFWD`/
+/// `KDOM_WIRE` — everything else in the binary uses explicit configs, and
+/// Rust runs tests in one process, so only one env-touching test may
+/// exist.
 #[test]
 fn composed_runners_parity_under_env() {
     let legs = [
-        ("1", "active", "1"),
-        ("4", "active", "1"),
-        ("1", "full", "1"),
-        ("4", "full", "1"),
-        ("1", "active", "0"),
-        ("4", "active", "0"),
+        ("1", "active", "1", "off"),
+        ("4", "active", "1", "off"),
+        ("1", "full", "1", "off"),
+        ("4", "full", "1", "off"),
+        ("1", "active", "0", "off"),
+        ("4", "active", "0", "off"),
+        ("1", "active", "1", "exact"),
+        ("4", "active", "1", "exact"),
     ];
     let mut baseline: Option<[String; 4]> = None;
 
@@ -566,10 +615,11 @@ fn composed_runners_parity_under_env() {
     let gt = Family::RandomTree.generate(150, 8);
     let gg = gnp_connected(&GenConfig::with_seed(140, 6), 0.06);
 
-    for (threads, sched, fastfwd) in legs {
+    for (threads, sched, fastfwd, wire) in legs {
         std::env::set_var("KDOM_THREADS", threads);
         std::env::set_var("KDOM_SCHED", sched);
         std::env::set_var("KDOM_FASTFWD", fastfwd);
+        std::env::set_var("KDOM_WIRE", wire);
         let diam = format!("{:?}", run_diamdom(&gd, NodeId(0), 3));
         let dom_t = format!(
             "{:?}",
@@ -591,7 +641,8 @@ fn composed_runners_parity_under_env() {
                     assert_eq!(
                         want[i], got[i],
                         "{name} diverged at KDOM_THREADS={threads} \
-                         KDOM_SCHED={sched} KDOM_FASTFWD={fastfwd}"
+                         KDOM_SCHED={sched} KDOM_FASTFWD={fastfwd} \
+                         KDOM_WIRE={wire}"
                     );
                 }
             }
@@ -600,4 +651,5 @@ fn composed_runners_parity_under_env() {
     std::env::remove_var("KDOM_THREADS");
     std::env::remove_var("KDOM_SCHED");
     std::env::remove_var("KDOM_FASTFWD");
+    std::env::remove_var("KDOM_WIRE");
 }

@@ -356,6 +356,7 @@ fn budget_exhaustion_names_stuck_nodes() {
 fn stall_report_counts_duplicated_copies() {
     #[derive(Clone, Debug)]
     struct Ping;
+    kdom::congest::impl_wire_empty!(Ping);
     impl Message for Ping {}
 
     /// Node 0 broadcasts every round and never finishes; node 1 listens.

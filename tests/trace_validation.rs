@@ -179,6 +179,35 @@ fn fast_mst_trace_confirms_congest_budget_and_phases() {
     }
     assert_eq!(sum, summary.total, "phases do not partition the total");
 
-    // validated: safe to reclaim the artifact
+    // wire-exact leg: the same composition with every message round-tripped
+    // through its bit encoding must emit the byte-identical event stream —
+    // same budget conformance, same reports, same fault-free determinism
+    let exact_path = dir.join("fast_mst_grid400_wire_exact.jsonl");
+    let _ = std::fs::remove_file(&exact_path);
+    std::env::set_var("KDOM_TRACE", &exact_path);
+    std::env::set_var("KDOM_WIRE", "exact");
+    let exact_run = fast_mst(&g);
+    std::env::remove_var("KDOM_WIRE");
+    std::env::remove_var("KDOM_TRACE");
+
+    validate_file(&exact_path, Some(congest_budget(3))).unwrap_or_else(|e| {
+        panic!(
+            "wire-exact Fast-MST trace failed validation (kept at {}): {e}",
+            exact_path.display()
+        )
+    });
+    assert_eq!(
+        format!("{run:?}"),
+        format!("{exact_run:?}"),
+        "wire-exact Fast-MST diverged from the in-memory run"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&path).expect("default trace readable"),
+        std::fs::read_to_string(&exact_path).expect("wire-exact trace readable"),
+        "wire-exact trace is not byte-identical to the in-memory trace"
+    );
+
+    // validated: safe to reclaim the artifacts
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&exact_path);
 }

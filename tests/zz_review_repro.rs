@@ -6,6 +6,7 @@ use kdom::graph::NodeId;
 
 #[derive(Clone, Debug)]
 struct Ping;
+kdom::congest::impl_wire_empty!(Ping);
 impl Message for Ping {}
 
 /// Every node broadcasts until round `until`, then stops; nodes stay
