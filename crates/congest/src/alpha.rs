@@ -809,6 +809,11 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
                 .filter(|&v| self.dead[v])
                 .map(NodeId)
                 .collect(),
+            live: (0..self.nodes.len())
+                .filter(|&v| !self.dead[v])
+                .map(NodeId)
+                .collect(),
+            stopped_at: self.report.pulses,
         }
     }
 

@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod alpha;
+pub mod chaos;
 pub mod engine;
 pub mod faults;
 pub mod reliable;
@@ -74,8 +75,15 @@ pub use alpha::{
     run_protocol_alpha, run_protocol_alpha_faulty, run_protocol_alpha_reliable, AlphaReport,
     AlphaSimulator,
 };
-pub use engine::{EngineConfig, Scheduling};
-pub use faults::{FaultInjector, FaultPlan};
+pub use chaos::{
+    gen_schedule, gen_schedule_with_mix, random_epoch, shrink, ChaosConfig, ChaosSchedule,
+    EventMix, ShrinkReport,
+};
+pub use engine::{run_epochs, EngineConfig, EpochError, EpochRun, Scheduling};
+pub use faults::{
+    apply_churn, ChurnEpoch, ChurnError, ChurnEvent, ChurnRemap, FaultInjector, FaultPlan,
+    FaultPlanError, Transmission,
+};
 pub use reliable::ReliableConfig;
 pub use report::RunReport;
 pub use sim::{

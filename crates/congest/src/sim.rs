@@ -267,6 +267,14 @@ pub struct StallReport {
     pub last_activity: u64,
     /// Nodes that crashed per the fault plan.
     pub crashed: Vec<NodeId>,
+    /// Nodes still live (not crashed) when the report was taken — with
+    /// [`StallReport::last_activity`], enough to diagnose a livelock
+    /// from the report alone: who could still act, and since when nobody
+    /// has.
+    pub live: Vec<NodeId>,
+    /// The round (or pulse) at which the watchdog took this snapshot;
+    /// `stopped_at - last_activity` is how long the run sat silent.
+    pub stopped_at: u64,
 }
 
 impl StallReport {
@@ -291,7 +299,14 @@ impl StallReport {
         if !self.crashed.is_empty() {
             write!(f, "; {} node(s) crashed", self.crashed.len())?;
         }
-        write!(f, "; last activity at {}", self.last_activity)
+        write!(
+            f,
+            "; {} node(s) live; last activity at {} ({} silent before the stop at {})",
+            self.live.len(),
+            self.last_activity,
+            self.stopped_at.saturating_sub(self.last_activity),
+            self.stopped_at
+        )
     }
 }
 

@@ -176,6 +176,39 @@ pub enum TraceEvent<'a> {
         /// Attempt number (2 = first retransmission).
         attempt: u32,
     },
+    /// One churn event applied at an epoch boundary (between runs). The
+    /// endpoint fields follow [`crate::faults::ChurnEvent`]: `a` is the
+    /// primary node id, `b` the second endpoint for edge events, `w` the
+    /// weight for weight-carrying events.
+    Churn {
+        /// Index of the epoch this event belongs to.
+        epoch: u64,
+        /// Event kind label (`"node_leave"`, `"node_join"`,
+        /// `"weight_change"`, `"edge_insert"`, `"edge_remove"`).
+        kind: &'a str,
+        /// Primary application-level node id.
+        a: u64,
+        /// Second endpoint for edge events.
+        b: Option<u64>,
+        /// Weight for weight-carrying events.
+        w: Option<u64>,
+    },
+    /// A re-fixup decision after an epoch (emitted between runs, before
+    /// the recovery run starts): `scope` nodes out of `total` were
+    /// declared dirty. When `full_restart` is false, the validator audits
+    /// that the next `run_start` simulates at most `scope` nodes — the
+    /// incremental path must not touch more of the graph than it claimed.
+    Refixup {
+        /// Index of the epoch being repaired.
+        epoch: u64,
+        /// Nodes in the dirty scope the incremental path claims.
+        scope: usize,
+        /// Nodes in the whole (post-churn) graph.
+        total: usize,
+        /// Whether the full-restart fallback was taken instead of the
+        /// incremental path.
+        full_restart: bool,
+    },
     /// The run finished; `report` is the engine's own final accounting,
     /// which the validator re-derives independently from the events
     /// above.
@@ -282,6 +315,34 @@ pub fn to_json(ev: &TraceEvent<'_>) -> String {
         } => format!(
             "{{\"ev\":\"retx\",\"t\":{time},\"v\":{node},\"p\":{port},\"seq\":{seq},\
              \"attempt\":{attempt}}}"
+        ),
+        TraceEvent::Churn {
+            epoch,
+            kind,
+            a,
+            b,
+            w,
+        } => {
+            let mut s = format!("{{\"ev\":\"churn\",\"epoch\":{epoch},\"kind\":\"");
+            escape_into(&mut s, kind);
+            s.push_str(&format!("\",\"a\":{a}"));
+            if let Some(b) = b {
+                s.push_str(&format!(",\"b\":{b}"));
+            }
+            if let Some(w) = w {
+                s.push_str(&format!(",\"w\":{w}"));
+            }
+            s.push('}');
+            s
+        }
+        TraceEvent::Refixup {
+            epoch,
+            scope,
+            total,
+            full_restart,
+        } => format!(
+            "{{\"ev\":\"refixup\",\"epoch\":{epoch},\"scope\":{scope},\"total\":{total},\
+             \"full\":{full_restart}}}"
         ),
         TraceEvent::RunEnd { report } => format!(
             "{{\"ev\":\"run_end\",\"rounds\":{},\"messages\":{},\"total_bits\":{},\
@@ -413,6 +474,39 @@ pub fn emit_charge(rounds: u64) {
     }
 }
 
+/// Appends one churn event (applied at an epoch boundary) to the
+/// `KDOM_TRACE` stream; no-op when tracing is disabled. Must be called
+/// between runs — the validator rejects churn inside an open run.
+pub fn emit_churn(epoch: u64, ev: &crate::faults::ChurnEvent) {
+    if let Some(mut sink) = from_env() {
+        let (a, b) = ev.endpoints();
+        sink.event(&TraceEvent::Churn {
+            epoch,
+            kind: ev.kind(),
+            a,
+            b,
+            w: ev.weight(),
+        });
+        sink.flush();
+    }
+}
+
+/// Appends a re-fixup decision to the `KDOM_TRACE` stream; no-op when
+/// tracing is disabled. For an incremental decision (`full_restart ==
+/// false`) the validator audits that the next run simulates at most
+/// `scope` nodes.
+pub fn emit_refixup(epoch: u64, scope: usize, total: usize, full_restart: bool) {
+    if let Some(mut sink) = from_env() {
+        sink.event(&TraceEvent::Refixup {
+            epoch,
+            scope,
+            total,
+            full_restart,
+        });
+        sink.flush();
+    }
+}
+
 // ---------------------------------------------------------------------
 // Validator
 // ---------------------------------------------------------------------
@@ -448,6 +542,10 @@ pub struct TraceSummary {
     pub ff_jumps: u64,
     /// Rounds skipped by fast-forward across all runs.
     pub ff_skipped: u64,
+    /// Churn events recorded between runs.
+    pub churn_events: u64,
+    /// Re-fixup decisions recorded between runs (incremental or full).
+    pub refixups: u64,
 }
 
 impl TraceSummary {
@@ -599,6 +697,9 @@ pub fn validate_str(text: &str, expect_bit_budget: Option<u64>) -> Result<TraceS
     let mut sum = TraceSummary::default();
     let mut current_phase = String::new();
     let mut cur: Option<RunAcc> = None;
+    // Scope claimed by the last incremental refixup event, audited
+    // against the node count of the next run_start.
+    let mut pending_refixup: Option<(usize, u64)> = None;
 
     for (at, line) in text.lines().enumerate() {
         let lineno = at + 1;
@@ -612,6 +713,15 @@ pub fn validate_str(text: &str, expect_bit_budget: Option<u64>) -> Result<TraceS
             "run_start" => {
                 if cur.is_some() {
                     return Err(format!("line {lineno}: run_start inside an open run"));
+                }
+                let nodes = field_u64(line, "nodes").ok_or_else(|| miss("nodes"))? as usize;
+                if let Some((scope, epoch)) = pending_refixup.take() {
+                    if nodes > scope {
+                        return Err(format!(
+                            "line {lineno}: refixup for epoch {epoch} claimed a {scope}-node \
+                             scope but the recovery run simulates {nodes} nodes"
+                        ));
+                    }
                 }
                 cur = Some(RunAcc {
                     mode: field_str(line, "mode")
@@ -652,6 +762,39 @@ pub fn validate_str(text: &str, expect_bit_budget: Option<u64>) -> Result<TraceS
                 let rounds = field_u64(line, "rounds").ok_or_else(|| miss("rounds"))?;
                 phase_entry(&mut sum.phases, &current_phase).charge_rounds(rounds);
                 sum.total.charge_rounds(rounds);
+            }
+            "churn" => {
+                if cur.is_some() {
+                    return Err(format!("line {lineno}: churn event inside an open run"));
+                }
+                field_u64(line, "epoch").ok_or_else(|| miss("epoch"))?;
+                field_str(line, "kind").ok_or_else(|| miss("kind"))?;
+                field_u64(line, "a").ok_or_else(|| miss("a"))?;
+                sum.churn_events += 1;
+            }
+            "refixup" => {
+                if cur.is_some() {
+                    return Err(format!("line {lineno}: refixup event inside an open run"));
+                }
+                let epoch = field_u64(line, "epoch").ok_or_else(|| miss("epoch"))?;
+                let scope = field_u64(line, "scope").ok_or_else(|| miss("scope"))? as usize;
+                let total = field_u64(line, "total").ok_or_else(|| miss("total"))? as usize;
+                let full = field_bool(line, "full").ok_or_else(|| miss("full"))?;
+                if scope > total {
+                    return Err(format!(
+                        "line {lineno}: refixup scope {scope} exceeds the {total}-node graph"
+                    ));
+                }
+                if let Some((_, prev)) = pending_refixup {
+                    return Err(format!(
+                        "line {lineno}: refixup for epoch {epoch} before the incremental \
+                         refixup for epoch {prev} was followed by a recovery run"
+                    ));
+                }
+                if !full {
+                    pending_refixup = Some((scope, epoch));
+                }
+                sum.refixups += 1;
             }
             "run_end" => {
                 let run = cur
@@ -784,6 +927,11 @@ pub fn validate_str(text: &str, expect_bit_budget: Option<u64>) -> Result<TraceS
     }
     if cur.is_some() {
         return Err("trace ends inside an open run (no run_end)".to_string());
+    }
+    if let Some((_, epoch)) = pending_refixup {
+        return Err(format!(
+            "trace ends before the incremental refixup for epoch {epoch} ran its recovery"
+        ));
     }
     Ok(sum)
 }
@@ -1049,5 +1197,139 @@ mod tests {
             line,
             "{\"ev\":\"phase\",\"label\":\"odd \\\"label\\\"\\\\n\"}"
         );
+    }
+
+    static ZERO_REPORT: RunReport = RunReport {
+        rounds: 0,
+        messages: 0,
+        total_bits: 0,
+        max_message_bits: 0,
+        peak_messages_per_round: 0,
+        dropped_messages: 0,
+        duplicated_messages: 0,
+        retransmissions: 0,
+    };
+
+    fn tiny_run(nodes: usize) -> [TraceEvent<'static>; 2] {
+        [
+            TraceEvent::RunStart {
+                mode: "sync",
+                nodes,
+                edges: 0,
+                bit_budget: None,
+            },
+            TraceEvent::RunEnd {
+                report: &ZERO_REPORT,
+            },
+        ]
+    }
+
+    #[test]
+    fn churn_and_refixup_round_trip() {
+        assert_eq!(
+            to_json(&TraceEvent::Churn {
+                epoch: 2,
+                kind: "edge_insert",
+                a: 7,
+                b: Some(9),
+                w: Some(44),
+            }),
+            "{\"ev\":\"churn\",\"epoch\":2,\"kind\":\"edge_insert\",\"a\":7,\"b\":9,\"w\":44}"
+        );
+        assert_eq!(
+            to_json(&TraceEvent::Churn {
+                epoch: 0,
+                kind: "node_leave",
+                a: 5,
+                b: None,
+                w: None,
+            }),
+            "{\"ev\":\"churn\",\"epoch\":0,\"kind\":\"node_leave\",\"a\":5}"
+        );
+        assert_eq!(
+            to_json(&TraceEvent::Refixup {
+                epoch: 1,
+                scope: 3,
+                total: 10,
+                full_restart: false,
+            }),
+            "{\"ev\":\"refixup\",\"epoch\":1,\"scope\":3,\"total\":10,\"full\":false}"
+        );
+        let mut events: Vec<TraceEvent<'static>> = tiny_run(10).to_vec();
+        events.push(TraceEvent::Churn {
+            epoch: 0,
+            kind: "node_leave",
+            a: 5,
+            b: None,
+            w: None,
+        });
+        events.push(TraceEvent::Refixup {
+            epoch: 0,
+            scope: 3,
+            total: 9,
+            full_restart: false,
+        });
+        events.extend(tiny_run(3));
+        let sum = validate_str(&record(&events), None).expect("valid churn trace");
+        assert_eq!(sum.churn_events, 1);
+        assert_eq!(sum.refixups, 1);
+        assert_eq!(sum.runs.len(), 2);
+    }
+
+    #[test]
+    fn refixup_audit_catches_overscoped_recovery() {
+        // The incremental refixup claims a 2-node scope but the recovery
+        // run simulates all 9 nodes — the validator must reject it.
+        let mut events: Vec<TraceEvent<'static>> = vec![TraceEvent::Refixup {
+            epoch: 0,
+            scope: 2,
+            total: 9,
+            full_restart: false,
+        }];
+        events.extend(tiny_run(9));
+        let err = validate_str(&record(&events), None).expect_err("overscoped");
+        assert!(err.contains("claimed a 2-node scope"), "{err}");
+        assert!(err.contains("simulates 9 nodes"), "{err}");
+
+        // A full restart makes no scope claim, so the same run is fine.
+        let mut events: Vec<TraceEvent<'static>> = vec![TraceEvent::Refixup {
+            epoch: 0,
+            scope: 2,
+            total: 9,
+            full_restart: true,
+        }];
+        events.extend(tiny_run(9));
+        validate_str(&record(&events), None).expect("full restart audits nothing");
+    }
+
+    #[test]
+    fn refixup_misuse_is_rejected() {
+        // scope larger than the graph
+        let events = [TraceEvent::Refixup {
+            epoch: 0,
+            scope: 11,
+            total: 10,
+            full_restart: true,
+        }];
+        let err = validate_str(&record(&events), None).expect_err("scope > total");
+        assert!(err.contains("exceeds"), "{err}");
+
+        // incremental claim never followed by a recovery run
+        let events = [TraceEvent::Refixup {
+            epoch: 3,
+            scope: 1,
+            total: 10,
+            full_restart: false,
+        }];
+        let err = validate_str(&record(&events), None).expect_err("no recovery run");
+        assert!(err.contains("epoch 3"), "{err}");
+
+        // churn inside an open run
+        let text = concat!(
+            "{\"ev\":\"run_start\",\"mode\":\"sync\",\"nodes\":1,\"edges\":0}\n",
+            "{\"ev\":\"churn\",\"epoch\":0,\"kind\":\"node_leave\",\"a\":5}\n",
+        );
+        let err = validate_str(text, None).expect_err("churn inside run");
+        assert!(err.contains("inside an open run"), "{err}");
     }
 }

@@ -100,6 +100,20 @@ impl Executor {
         self.run(g, nodes, max_rounds)
     }
 
+    /// The watchdog budget equivalent to `sync_rounds` synchronous
+    /// rounds under this backend. The α transport spends extra pulses
+    /// on ARQ retransmissions and on draining acks *after* the protocol
+    /// itself has quiesced, so a schedule-derived synchronous bound is
+    /// too tight under loss; the α budget gets generous headroom. The
+    /// budget only catches runaway runs — it never changes the outputs
+    /// of a run that completes.
+    pub fn watchdog_budget(&self, sync_rounds: u64) -> u64 {
+        match self {
+            Executor::Sync => sync_rounds,
+            Executor::ReliableAlpha { .. } => sync_rounds.saturating_mul(64).max(1 << 16),
+        }
+    }
+
     /// A short human label for reports and benchmarks.
     pub fn label(&self) -> &'static str {
         match self {

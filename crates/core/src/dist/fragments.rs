@@ -470,18 +470,58 @@ pub fn run_simple_mst_on(
     k: usize,
     exec: &crate::dist::executor::Executor,
 ) -> DistFragments {
+    run_simple_mst_configured(g, k, exec, kdom_congest::EngineConfig::from_env())
+}
+
+/// [`run_simple_mst_on`] with an explicit engine configuration instead of
+/// the environment defaults, so tests can pin thread counts without
+/// mutating the process environment.
+///
+/// # Panics
+///
+/// Panics if the run fails, as [`run_simple_mst_on`].
+pub fn run_simple_mst_configured(
+    g: &Graph,
+    k: usize,
+    exec: &crate::dist::executor::Executor,
+    config: kdom_congest::EngineConfig,
+) -> DistFragments {
     let nodes: Vec<FragmentNode> = g
         .nodes()
         .map(|v| FragmentNode::new(k, g.id_of(v)))
         .collect();
-    let budget = schedule_end(k) + 8;
+    let budget = exec.watchdog_budget(schedule_end(k) + 8);
+    kdom_congest::trace::emit_phase("SimpleMST");
     let (nodes, report) = exec
-        .run_phase("SimpleMST", g, nodes, budget)
+        .run_configured(g, nodes, budget, config)
         .unwrap_or_else(|e| panic!("SimpleMST failed to quiesce: {e}"));
 
-    // extract the forest from parent pointers
-    let n = g.node_count();
     let parents: Vec<Option<Port>> = nodes.iter().map(|x| x.parent).collect();
+    let (fragment_of, roots, tree_edges) = forest_from_parents(g, &parents);
+    DistFragments {
+        fragment_of,
+        roots,
+        tree_edges,
+        parents,
+        report,
+    }
+}
+
+/// Extracts the fragment forest from per-node parent ports: selected
+/// tree edges, roots in node order, and the fragment index of every
+/// node. This is the **single** numbering rule shared by the full run
+/// and the incremental re-fixup splice ([`crate::dist::refixup`]) — any
+/// divergence between the two paths would otherwise hide in renumbering.
+///
+/// # Panics
+///
+/// Panics if the parent pointers do not form a forest with exactly one
+/// root per tree (e.g. two roots joined by tree edges).
+pub fn forest_from_parents(
+    g: &Graph,
+    parents: &[Option<Port>],
+) -> (Vec<usize>, Vec<NodeId>, Vec<EdgeId>) {
+    let n = g.node_count();
     let mut tree_edges = Vec::new();
     let mut dsu = kdom_graph::Dsu::new(n);
     for v in g.nodes() {
@@ -517,13 +557,7 @@ pub fn run_simple_mst_on(
                 .unwrap_or_else(|| panic!("fragment of {v:?} has no root"))
         })
         .collect();
-    DistFragments {
-        fragment_of,
-        roots,
-        tree_edges,
-        parents,
-        report,
-    }
+    (fragment_of, roots, tree_edges)
 }
 
 #[cfg(test)]

@@ -17,6 +17,9 @@
 //!   reliable-α-over-faults) for the compositions;
 //! * [`fragments`] — `SimpleMST` (§4.3), the phase-scheduled fragment
 //!   growth with identity refresh, MWOE convergecast and root transfer;
+//! * [`refixup`] — incremental recovery after churn epochs: only the
+//!   fragments/clusters an event touched are re-run, with a sequential
+//!   certificate and a full-restart fallback;
 //! * [`treedp`] — the exact tree k-domination DP as one convergecast +
 //!   one claim flood;
 //! * [`fastdom`] — distributed `FastDOM_T`/`FastDOM_G` compositions with
@@ -30,4 +33,5 @@ pub mod executor;
 pub mod fastdom;
 pub mod fragments;
 pub mod partition1;
+pub mod refixup;
 pub mod treedp;

@@ -1,0 +1,178 @@
+//! Property suite for the fault layer: the injected fault stream is a
+//! pure function of the plan, and the typed builder rejects exactly the
+//! ill-formed inputs.
+//!
+//! The load-bearing property is **query independence**: [`FaultInjector`]
+//! only advances its RNG in [`FaultInjector::transmit`], never in the
+//! read-only probes (`is_crashed`, `link_is_down`, `crash_time`). Both
+//! executors interleave those probes with transmissions in different
+//! orders (the sync engine batches per round, α is event-driven), so any
+//! RNG consumption in a probe would silently desynchronize the fault
+//! streams between legs and break every cross-executor byte-identity
+//! guarantee in this repo.
+
+use kdom::congest::{FaultInjector, FaultPlan, FaultPlanError, Transmission};
+use kdom::graph::{EdgeId, NodeId};
+use kdom_rng::StdRng;
+
+/// A random but plausible fault plan.
+fn random_plan(rng: &mut StdRng) -> FaultPlan {
+    let mut plan = FaultPlan::new(rng.next_u64())
+        .drop_prob(rng.random_unit() * 0.6)
+        .dup_prob(rng.random_unit() * 0.4)
+        .max_extra_delay(rng.random_range(0u64..4));
+    for node in 0..rng.random_range(0usize..4) {
+        plan = plan.crash(NodeId(node * 3), rng.random_range(0u64..40));
+    }
+    for e in 0..rng.random_range(0usize..4) {
+        let from = rng.random_range(0u64..30);
+        plan = plan.link_down(EdgeId(e * 5), from, from + 1 + rng.random_range(0u64..20));
+    }
+    plan
+}
+
+/// A random transmission workload: which edge sends at which time.
+fn random_workload(rng: &mut StdRng) -> Vec<(EdgeId, u64)> {
+    let len = rng.random_range(20usize..200);
+    (0..len)
+        .map(|_| {
+            (
+                EdgeId(rng.random_range(0usize..40)),
+                rng.random_range(0u64..60),
+            )
+        })
+        .collect()
+}
+
+/// Replays `workload` through a fresh injector for `plan`. When
+/// `probe_rng` is given, a random number of read-only queries is
+/// interleaved before every transmission — the returned stream must not
+/// notice.
+fn replay(
+    plan: &FaultPlan,
+    workload: &[(EdgeId, u64)],
+    mut probes: Option<&mut StdRng>,
+) -> Vec<Transmission> {
+    let mut inj = FaultInjector::new(plan);
+    workload
+        .iter()
+        .map(|&(edge, now)| {
+            if let Some(rng) = probes.as_deref_mut() {
+                for _ in 0..rng.random_range(0usize..5) {
+                    let node = NodeId(rng.random_range(0usize..30));
+                    let t = rng.random_range(0u64..60);
+                    let _ = inj.is_crashed(node, t);
+                    let _ = inj.crash_time(node);
+                    let _ = inj.link_is_down(EdgeId(rng.random_range(0usize..40)), t);
+                }
+            }
+            inj.transmit(edge, now)
+        })
+        .collect()
+}
+
+/// Same seed ⇒ identical `Transmission` stream, no matter how many
+/// `is_crashed` / `link_is_down` / `crash_time` queries are interleaved.
+#[test]
+fn transmission_stream_is_independent_of_interleaved_queries() {
+    let mut rng = StdRng::seed_from_u64(0xFA17_0001);
+    for case in 0..48 {
+        let plan = random_plan(&mut rng);
+        let workload = random_workload(&mut rng);
+        let clean = replay(&plan, &workload, None);
+        let mut probe_rng = StdRng::seed_from_u64(rng.next_u64());
+        let probed = replay(&plan, &workload, Some(&mut probe_rng));
+        assert_eq!(
+            clean, probed,
+            "case {case}: probes advanced the fault stream"
+        );
+        // and a second clean replay is byte-identical (pure function)
+        assert_eq!(
+            clean,
+            replay(&plan, &workload, None),
+            "case {case}: not replayable"
+        );
+    }
+}
+
+/// Drops attributed to down-intervals are flagged `down`, random drops
+/// are not, and within a down-interval the RNG is not consumed (the
+/// stream after the interval matches a plan without it, shifted only by
+/// the skipped transmissions' absent draws).
+#[test]
+fn down_interval_drops_are_attributed_and_rng_free() {
+    let mut rng = StdRng::seed_from_u64(0xFA17_0002);
+    for case in 0..48 {
+        let seed = rng.next_u64();
+        let from = rng.random_range(0u64..20);
+        let until = from + 1 + rng.random_range(0u64..20);
+        let plan = FaultPlan::new(seed)
+            .drop_prob(0.3)
+            .link_down(EdgeId(7), from, until);
+        let mut inj = FaultInjector::new(&plan);
+        for t in from..until {
+            let tx = inj.transmit(EdgeId(7), t);
+            assert!(tx.dropped() && tx.down, "case {case} t={t}");
+        }
+        // the post-interval stream equals a fresh injector's stream:
+        // the interval consumed zero RNG draws
+        let mut fresh = FaultInjector::new(&plan);
+        for t in until..until + 30 {
+            assert_eq!(
+                inj.transmit(EdgeId(7), t),
+                fresh.transmit(EdgeId(7), t),
+                "case {case} t={t}: the down-interval consumed RNG"
+            );
+        }
+    }
+}
+
+/// The typed builder accepts every in-range input and rejects exactly
+/// the ill-formed ones with the matching [`FaultPlanError`].
+#[test]
+fn builder_accepts_valid_and_rejects_invalid_inputs() {
+    let mut rng = StdRng::seed_from_u64(0xFA17_0003);
+    for case in 0..48 {
+        let p = rng.random_unit();
+        let plan = FaultPlan::new(case)
+            .try_drop_prob(p)
+            .and_then(|pl| pl.try_dup_prob(1.0 - p))
+            .unwrap_or_else(|e| panic!("case {case}: in-range probability rejected: {e}"));
+
+        // out-of-range, NaN, and infinite probabilities are rejected
+        for bad in [-0.25, 1.0 + rng.random_unit(), f64::NAN, f64::INFINITY] {
+            match plan.clone().try_drop_prob(bad) {
+                Err(FaultPlanError::ProbabilityOutOfRange { what: "drop", p }) => {
+                    assert!(p.is_nan() || !(0.0..=1.0).contains(&p), "case {case}");
+                }
+                other => panic!("case {case}: {bad} accepted: {other:?}"),
+            }
+        }
+
+        // a second crash for the same node is rejected, any other node ok
+        let node = NodeId(rng.random_range(0usize..20));
+        let crashed = plan
+            .clone()
+            .try_crash(node, rng.random_range(0u64..50))
+            .unwrap();
+        match crashed.clone().try_crash(node, 99) {
+            Err(FaultPlanError::DuplicateCrash { node: n }) => assert_eq!(n, node),
+            other => panic!("case {case}: duplicate crash accepted: {other:?}"),
+        }
+        crashed
+            .try_crash(NodeId(node.0 + 1), 1)
+            .expect("distinct node crashes compose");
+
+        // empty and inverted down-intervals are rejected
+        let from = rng.random_range(1u64..40);
+        for until in [from, from - 1] {
+            match plan.clone().try_link_down(EdgeId(3), from, until) {
+                Err(FaultPlanError::EmptyLinkDown { edge, .. }) => assert_eq!(edge, EdgeId(3)),
+                other => panic!("case {case}: empty interval accepted: {other:?}"),
+            }
+        }
+        plan.clone()
+            .try_link_down(EdgeId(3), from, from + 1)
+            .expect("non-empty interval accepted");
+    }
+}
