@@ -20,7 +20,7 @@ fn main() -> ExitCode {
             match kdom_bench::exps::by_name(n, quick) {
                 Some(t) => ts.push(t),
                 None => {
-                    eprintln!("unknown experiment {n:?}; use e1..e22 or all");
+                    eprintln!("unknown experiment {n:?}; use e1..e23 or all");
                     return ExitCode::FAILURE;
                 }
             }

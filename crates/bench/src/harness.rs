@@ -67,6 +67,23 @@ pub fn note_extra(name: &str, key: &str, value: u64) {
     }
 }
 
+/// Whether this machine can honestly *time* a `threads`-way leg:
+/// requires `available_parallelism() >= threads`. When undersubscribed
+/// it logs the skip to stderr and returns `false` — callers must then
+/// neither record the measurement nor let it into a baseline file, or
+/// an undersubscribed machine would write multi-thread rows that a real
+/// multi-core host is later gated against. Byte-identity checks of
+/// multi-thread legs are unaffected: correctness does not need real
+/// parallelism, only timing does.
+pub fn can_bench_threads(threads: usize) -> bool {
+    let nproc = std::thread::available_parallelism().map_or(0, usize::from);
+    if nproc >= threads {
+        return true;
+    }
+    eprintln!("kdom-bench: skipping {threads}-thread timing legs: only {nproc} CPU(s) available");
+    false
+}
+
 /// Writes every recorded measurement to `BENCH_engine.json` at the repo
 /// root: per-target median wall-clock seconds, plus rounds/second where
 /// [`note_rounds`] was called. Returns the path written.

@@ -870,6 +870,7 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
                 nodes: self.graph.node_count(),
                 edges: self.graph.edge_count(),
                 bit_budget: None,
+                fixed_mem: None,
             });
         }
         // initial crashes (pulse 0): these nodes never participate — a

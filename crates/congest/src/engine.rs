@@ -38,21 +38,34 @@
 //!    not messages. `Outbox` slabs are pooled per worker; steady-state
 //!    rounds allocate nothing.
 //!
-//! 4. **A deterministically parallel compute phase.** With
+//! 4. **A deterministically parallel compute *and merge* phase.** With
 //!    [`EngineConfig::threads`] > 1 the active list is split into
 //!    contiguous node shards and executed under [`std::thread::scope`] —
 //!    but only when each shard gets at least [`EngineConfig::shard_min`]
-//!    active nodes (spawn overhead dominates tiny rounds). Workers write
-//!    sends into per-shard staging slabs, and a single sequential merge
-//!    replays them in ascending node order — the exact order the
-//!    single-threaded loop produces. All shared mutable effects (message
-//!    counters, the fault injector's RNG stream, arena stores) happen only
-//!    in the merge, so a parallel run is **byte-identical** to a
-//!    single-threaded one: same outputs, same [`RunReport`], same
-//!    injected-fault stream. After an error
+//!    active nodes (spawn overhead dominates tiny rounds). In the
+//!    fault-free, untraced common case the merge is **destination-
+//!    sharded**: while computing, each worker buckets its staged sends by
+//!    the destination's shard; the buckets are exchanged over persistent
+//!    channels, and each worker then delivers — in parallel — only into
+//!    the inbox slots of its own node range. No worker ever touches
+//!    another worker's arena slice, every `(receiver, port)` slot has
+//!    exactly one writer, and all counters are order-independent sums, so
+//!    a parallel run is **byte-identical** to a single-threaded one: same
+//!    outputs, same [`RunReport`]. (The old design funnelled every round
+//!    through a single sequential merge on the caller's thread, which is
+//!    why `active-set-4t` used to *lose* to 1t: the merge serialised the
+//!    per-message work that dominates dense rounds.) When a fault
+//!    injector, a trace sink, or wire-exact mode needs globally ordered
+//!    per-message effects — the RNG stream, `send` events — the engine
+//!    falls back to that sequential merge, which replays staged sends in
+//!    ascending node order, the exact order the single-threaded loop
+//!    produces, so traced and fault-injected runs remain byte-identical
+//!    across thread counts too. After an error
 //!    ([`SimError::CongestViolation`] / [`SimError::BrokenTopology`]) the
-//!    reported counters still match the sequential run, but node automata
-//!    beyond the failing node are in an unspecified state (they may have
+//!    reported counters still match the sequential run (the bucketed path
+//!    detects both conditions during compute and re-sorts the buckets to
+//!    replay the sequential cut-off exactly), but node automata beyond
+//!    the failing node are in an unspecified state (they may have
 //!    executed the failing round); errors abort the run, so no caller
 //!    observes that state through the public API.
 //!
@@ -62,6 +75,8 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
 
 use kdom_graph::graph::{Graph, NodeId};
 
@@ -307,6 +322,29 @@ fn pack_meta(sender: u32, port: usize, size_bits: u64) -> u64 {
     (u64::from(sender) << 40) | ((port as u64) << 20) | size_bits.min(META_BITS)
 }
 
+/// One bucket of staged sends in flight between workers during the
+/// destination-sharded merge: `(source shard, packed metadata, messages)`.
+type BucketBatch<M> = (usize, Vec<u64>, Vec<M>);
+
+/// Persistent channels for the destination-sharded merge: worker `d`
+/// receives every shard's bucket for its node range on `rxs[d]`; row `s`
+/// of `txs` holds worker `s`'s own clones of all senders. Created once
+/// (sized by the configured thread count) and reused every round — the
+/// bucket `Vec`s themselves are recycled through [`WorkerScratch`], so
+/// steady-state rounds allocate nothing.
+struct Exchange<M> {
+    txs: Vec<Vec<mpsc::Sender<BucketBatch<M>>>>,
+    rxs: Vec<mpsc::Receiver<BucketBatch<M>>>,
+}
+
+impl<M> Exchange<M> {
+    fn new(workers: usize) -> Self {
+        let (txs0, rxs): (Vec<_>, Vec<_>) = (0..workers).map(|_| mpsc::channel()).unzip();
+        let txs = (0..workers).map(|_| txs0.clone()).collect();
+        Exchange { txs, rxs }
+    }
+}
+
 /// What a stepped node needs next, recorded by the compute phase and
 /// applied to the schedule by the sequential merge.
 #[derive(Clone, Copy, Debug)]
@@ -341,6 +379,28 @@ struct WorkerScratch<M> {
     crash_lost: u64,
     /// First CONGEST violation in this shard, by node order.
     violation: Option<(u32, Port)>,
+    /// Bucketed mode: staged sends grouped by destination shard,
+    /// `(packed metadata, messages)` per destination.
+    buckets: Vec<(Vec<u64>, Vec<M>)>,
+    /// Bucketed mode: the batches this worker received, indexed by
+    /// source shard; their capacity is recycled into `buckets`.
+    incoming: Vec<(Vec<u64>, Vec<M>)>,
+    /// Bucketed mode: nodes in this worker's destination range that
+    /// received their first message this round.
+    dest_receivers: Vec<u32>,
+    /// Bucketed mode: messages this shard staged.
+    sent_msgs: u64,
+    /// Bucketed mode: total bits this shard staged (true widths, not
+    /// the packed-field cap).
+    sent_bits: u64,
+    /// Bucketed mode: widest message this shard staged, in bits.
+    max_bits: u64,
+    /// Bucketed mode: copies this worker delivered into its range.
+    delivered: u64,
+    /// Bucketed mode: first asymmetric-topology send in this shard, by
+    /// node order (checked during compute so delivery can't index with
+    /// a missing reverse port).
+    broken: Option<(u32, Port)>,
 }
 
 impl<M> Default for WorkerScratch<M> {
@@ -353,6 +413,14 @@ impl<M> Default for WorkerScratch<M> {
             sched: Vec::new(),
             crash_lost: 0,
             violation: None,
+            buckets: Vec::new(),
+            incoming: Vec::new(),
+            dest_receivers: Vec::new(),
+            sent_msgs: 0,
+            sent_bits: 0,
+            max_bits: 0,
+            delivered: 0,
+            broken: None,
         }
     }
 }
@@ -367,11 +435,17 @@ impl<M> Default for WorkerScratch<M> {
 /// records only done-status *transitions* against the read-only
 /// `done_flag` snapshot, keeping the sequential schedule merge O(changes)
 /// instead of O(active).
+/// With `bucketed` true (the destination-sharded merge) sends go into
+/// `scratch.buckets`, keyed by which entry of `dest_bounds` — the
+/// destination shards' node-range boundaries, `len = shards + 1` —
+/// contains the receiving node; reverse-port asymmetry is detected here
+/// (recorded in `scratch.broken`) so the parallel delivery never has to.
 #[allow(clippy::too_many_arguments)]
 fn run_shard<P: Protocol>(
     graph: &Graph,
     ids: &[u64],
     off: &[usize],
+    rev_port: &[usize],
     injector: Option<&FaultInjector>,
     round: u64,
     bit_budget: Option<u64>,
@@ -382,6 +456,8 @@ fn run_shard<P: Protocol>(
     nodes: &mut [P],
     slot_base: usize,
     slots: &mut [Slot<P::Msg>],
+    bucketed: bool,
+    dest_bounds: &[u32],
     scratch: &mut WorkerScratch<P::Msg>,
 ) {
     scratch.staged_meta.clear();
@@ -389,6 +465,23 @@ fn run_shard<P: Protocol>(
     scratch.sched.clear();
     scratch.crash_lost = 0;
     scratch.violation = None;
+    scratch.sent_msgs = 0;
+    scratch.sent_bits = 0;
+    scratch.max_bits = 0;
+    scratch.broken = None;
+    if bucketed {
+        let shards = dest_bounds.len() - 1;
+        if scratch.buckets.len() < shards {
+            scratch.buckets.resize_with(shards, Default::default);
+        }
+        if scratch.incoming.len() < shards {
+            scratch.incoming.resize_with(shards, Default::default);
+        }
+        for (meta, msgs) in &mut scratch.buckets[..shards] {
+            meta.clear();
+            msgs.clear();
+        }
+    }
     for &v32 in active {
         let v = v32 as usize;
         let deg = graph.degree(NodeId(v));
@@ -430,6 +523,7 @@ fn run_shard<P: Protocol>(
                 scratch.violation = Some((v32, port));
             }
         }
+        let arcs = graph.neighbors(NodeId(v));
         for (p, slot) in scratch.outbox.iter_mut().enumerate() {
             if let Some(msg) = slot.take() {
                 let bits = msg.size_bits();
@@ -443,8 +537,22 @@ fn run_shard<P: Protocol>(
                 }
                 #[cfg(not(debug_assertions))]
                 let _ = bit_budget;
-                scratch.staged_meta.push(pack_meta(v32, p, bits));
-                scratch.staged_msgs.push(msg);
+                if bucketed {
+                    if rev_port[off[v] + p] == usize::MAX && scratch.broken.is_none() {
+                        scratch.broken = Some((v32, Port(p)));
+                    }
+                    let to = arcs[p].to.0 as u32;
+                    let d = dest_bounds.partition_point(|&b| b <= to) - 1;
+                    let (meta, msgs) = &mut scratch.buckets[d];
+                    meta.push(pack_meta(v32, p, bits));
+                    msgs.push(msg);
+                    scratch.sent_msgs += 1;
+                    scratch.sent_bits += bits;
+                    scratch.max_bits = scratch.max_bits.max(bits);
+                } else {
+                    scratch.staged_meta.push(pack_meta(v32, p, bits));
+                    scratch.staged_msgs.push(msg);
+                }
             }
         }
         let now_done = node.is_done();
@@ -479,9 +587,11 @@ pub(crate) struct RoundEngine<'g, P: Protocol> {
     nodes: Vec<P>,
     /// Application-level node ids, hoisted out of the round loop.
     ids: Vec<u64>,
-    /// `rev_port[v][p]`: the port of the edge `(v, p)` at its other
-    /// endpoint, precomputed so delivery is O(1) per message.
-    rev_port: Vec<Vec<Option<Port>>>,
+    /// `rev_port[off[v] + p]`: the port of the edge `(v, p)` at its
+    /// other endpoint, flattened CSR-style so delivery is O(1) per
+    /// message with no nested indirection. `usize::MAX` marks a
+    /// corrupted, asymmetric topology.
+    rev_port: Vec<usize>,
     /// CSR offsets: node `v`'s arena slots are `off[v]..off[v + 1]`.
     off: Vec<usize>,
     /// Arena being consumed this round (last round's deliveries).
@@ -537,9 +647,28 @@ pub(crate) struct RoundEngine<'g, P: Protocol> {
     ff_jumps: u64,
     /// Rounds skipped by fast-forward so far.
     ff_skipped: u64,
+    /// Fixed memory footprint in bytes (graph CSR, double-buffered
+    /// arenas, tables, automata), computed once at construction from
+    /// logical lengths and type sizes — deterministic across thread
+    /// counts and schedulers.
+    fixed_mem: u64,
+    /// Sends staged in the last executed round (all shards), feeding the
+    /// peak-memory high-water mark.
+    round_staged: u64,
+    /// Node-range boundaries of the destination shards for the bucketed
+    /// merge (`len = shards + 1`), rebuilt each sharded round.
+    dest_bounds: Vec<u32>,
+    /// Persistent cross-worker channels for the bucketed merge, created
+    /// on the first multi-shard round.
+    exchange: Option<Exchange<P::Msg>>,
 }
 
 impl<'g, P: Protocol> RoundEngine<'g, P> {
+    /// Bytes one staged send occupies: the packed metadata word plus its
+    /// message slab slot. Defined from type sizes so the peak-memory
+    /// figure is identical whichever merge path ran.
+    const STAGED_BYTES: u64 = 8 + std::mem::size_of::<P::Msg>() as u64;
+
     /// Creates an engine with one automaton per node.
     ///
     /// # Panics
@@ -561,7 +690,6 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
         let n = graph.node_count();
         assert!(n <= 1 << 24, "packed staging supports up to 2^24 nodes");
         let ids: Vec<u64> = (0..n).map(|v| graph.id_of(NodeId(v))).collect();
-        let rev_port = reverse_port_table(graph);
         let mut off = Vec::with_capacity(n + 1);
         let mut acc = 0usize;
         off.push(0);
@@ -571,6 +699,30 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             acc += deg;
             off.push(acc);
         }
+        let mut rev_port = vec![usize::MAX; acc];
+        for v in 0..n {
+            for (p, arc) in graph.neighbors(NodeId(v)).iter().enumerate() {
+                if let Some(rp) = graph
+                    .neighbors(arc.to)
+                    .iter()
+                    .position(|a| a.edge == arc.edge)
+                {
+                    rev_port[off[v] + p] = rp;
+                }
+            }
+        }
+        // The run's fixed footprint, from logical lengths and type sizes
+        // (not allocator capacities, which scheduling could perturb): the
+        // graph CSR, the ids, the offset and reverse-port tables, both
+        // message arenas, the per-node schedule state (wake_at 8 +
+        // recv_mark 8 + done_flag 1 bytes), and the automata themselves.
+        let usize_b = std::mem::size_of::<usize>() as u64;
+        let fixed_mem = graph.memory_bytes()
+            + (n as u64) * 8
+            + ((n + 1) as u64 + acc as u64) * usize_b
+            + 2 * (acc as u64) * std::mem::size_of::<Slot<P::Msg>>() as u64
+            + (n as u64) * 17
+            + (n as u64) * std::mem::size_of::<P>() as u64;
         let done_flag: Vec<bool> = nodes.iter().map(Protocol::is_done).collect();
         let live_undone = done_flag.iter().filter(|&&d| !d).count();
         let crash_events = injector
@@ -602,13 +754,20 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             scratch: Vec::new(),
             first_step: true,
             round: 0,
-            report: RunReport::default(),
+            report: RunReport {
+                peak_memory_bytes: fixed_mem,
+                ..RunReport::default()
+            },
             injector,
             last_activity: 0,
             crash_lost: 0,
             trace: None,
             ff_jumps: 0,
             ff_skipped: 0,
+            fixed_mem,
+            round_staged: 0,
+            dest_bounds: Vec::new(),
+            exchange: None,
         };
         engine.advance_crash_epoch();
         engine.attach_trace(crate::trace::from_env());
@@ -624,6 +783,7 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
                 nodes: self.graph.node_count(),
                 edges: self.graph.edge_count(),
                 bit_budget: self.config.bit_budget,
+                fixed_mem: Some(self.fixed_mem),
             });
             self.trace = Some(t);
         }
@@ -895,21 +1055,29 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
         self.first_step = false;
         self.receivers.clear();
 
-        let shards = self
+        // Shard count: `per` from the configured ceiling, then the *true*
+        // chunk count — div_ceil can produce fewer non-empty chunks than
+        // the first estimate, and iterating stale scratch for the missing
+        // chunks would double-count its previous round's state.
+        let shards0 = self
             .config
             .threads
             .min(self.active.len() / self.config.shard_min.max(1))
             .max(1);
+        let per = self.active.len().div_ceil(shards0).max(1);
+        let shards = self.active.len().div_ceil(per).max(1);
         if self.scratch.len() < shards {
             self.scratch.resize_with(shards, WorkerScratch::default);
         }
 
         let track_wakes = self.config.scheduling == Scheduling::ActiveSet;
+        let round_msgs;
         if shards == 1 {
             run_shard(
                 self.graph,
                 &self.ids,
                 &self.off,
+                &self.rev_port,
                 self.injector.as_ref(),
                 self.round,
                 self.config.bit_budget,
@@ -920,27 +1088,59 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
                 &mut self.nodes,
                 0,
                 &mut self.inbox,
+                false,
+                &[],
                 &mut self.scratch[0],
             );
+            round_msgs = self.merge_staged(1)?;
         } else {
-            let per = self.active.len().div_ceil(shards);
+            // The destination-sharded merge needs per-message effects to
+            // be order-free; a fault injector (RNG stream), a trace sink
+            // (send events), and wire-exact verification all demand the
+            // sequential replay order, so they take the sequential merge.
+            let bucketed =
+                self.injector.is_none() && self.trace.is_none() && !self.config.wire_exact;
+            self.dest_bounds.clear();
+            if bucketed {
+                // Worker s owns delivery for nodes [bounds[s], bounds[s+1]):
+                // ranges anchored at each compute chunk's first node so
+                // the tiles cover 0..n contiguously.
+                self.dest_bounds.push(0);
+                for s in 1..shards {
+                    self.dest_bounds.push(self.active[s * per]);
+                }
+                self.dest_bounds.push(n as u32);
+                if self.exchange.is_none() {
+                    self.exchange = Some(Exchange::new(self.config.threads));
+                }
+            }
             let graph = self.graph;
             let ids = &self.ids;
             let off = &self.off;
+            let rev_port = &self.rev_port;
             let injector = self.injector.as_ref();
             let round = self.round;
+            let epoch = round + 1;
             let bit_budget = self.config.bit_budget;
             let done_flag = &self.done_flag;
             let active = &self.active;
+            let dest_bounds = &self.dest_bounds;
+            let fallback = AtomicBool::new(false);
+            let fallback_ref = &fallback;
             let mut nodes_tail: &mut [P] = &mut self.nodes;
             let mut slots_tail: &mut [Slot<P::Msg>] = &mut self.inbox;
+            let mut pend_tail: &mut [Slot<P::Msg>] = &mut self.pending;
+            let mut mark_tail: &mut [u64] = &mut self.recv_mark;
             let mut nodes_cut = 0usize;
             let mut slots_cut = 0usize;
             let mut scratch_iter = self.scratch.iter_mut();
+            let (mut tx_iter, mut rx_iter) = match self.exchange.as_mut() {
+                Some(e) if bucketed => (e.txs.iter_mut(), e.rxs.iter_mut()),
+                _ => ([].iter_mut(), [].iter_mut()),
+            };
             std::thread::scope(|scope| {
-                let chunks: Vec<&[u32]> = active.chunks(per).collect();
-                let last = chunks.len() - 1;
-                for (ci, chunk) in chunks.into_iter().enumerate() {
+                for s in 0..shards {
+                    let chunk = &active[s * per..((s + 1) * per).min(active.len())];
                     let node_lo = chunk[0] as usize;
                     let node_hi = *chunk.last().expect("chunks are non-empty") as usize + 1;
                     let (head_n, tail_n) =
@@ -955,11 +1155,32 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
                     nodes_cut = node_hi;
                     slots_cut = slot_hi;
                     let scratch = scratch_iter.next().expect("one scratch per shard");
-                    let mut run = move || {
+                    // Bucketed: this worker's delivery tile of the pending
+                    // arena and the receiver marks. The tiles are
+                    // contiguous, so successive splits need no offset.
+                    let (dest_lo, dest_slots, dest_marks, txs, rx) = if bucketed {
+                        let (lo, hi) = (dest_bounds[s] as usize, dest_bounds[s + 1] as usize);
+                        let (ds, rest_p) =
+                            std::mem::take(&mut pend_tail).split_at_mut(off[hi] - off[lo]);
+                        pend_tail = rest_p;
+                        let (dm, rest_m) = std::mem::take(&mut mark_tail).split_at_mut(hi - lo);
+                        mark_tail = rest_m;
+                        (
+                            lo,
+                            ds,
+                            dm,
+                            Some(tx_iter.next().expect("one sender row per worker")),
+                            Some(rx_iter.next().expect("one receiver per worker")),
+                        )
+                    } else {
+                        (0, Default::default(), Default::default(), None, None)
+                    };
+                    let run = move || {
                         run_shard(
                             graph,
                             ids,
                             off,
+                            rev_port,
                             injector,
                             round,
                             bit_budget,
@@ -970,10 +1191,70 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
                             shard_nodes,
                             slot_lo,
                             shard_slots,
+                            bucketed,
+                            dest_bounds,
                             scratch,
-                        )
+                        );
+                        if !bucketed {
+                            return;
+                        }
+                        // A violation or asymmetry poisons the parallel
+                        // delivery; flag it *before* sending so every
+                        // worker's post-exchange check observes it.
+                        if scratch.violation.is_some() || scratch.broken.is_some() {
+                            fallback_ref.store(true, Ordering::Relaxed);
+                        }
+                        let txs = txs.expect("bucketed workers have senders");
+                        let rx = rx.expect("bucketed workers have a receiver");
+                        for (d, tx) in txs.iter().enumerate().take(shards) {
+                            let (meta, msgs) = std::mem::take(&mut scratch.buckets[d]);
+                            let _ = tx.send((s, meta, msgs));
+                        }
+                        scratch.delivered = 0;
+                        scratch.dest_receivers.clear();
+                        // The receive loop doubles as the round barrier:
+                        // every worker's flag store happens-before its
+                        // sends, so once all batches are in, all flags are
+                        // visible.
+                        for _ in 0..shards {
+                            let (src, meta, msgs) = rx.recv().expect("peer worker panicked");
+                            scratch.incoming[src] = (meta, msgs);
+                        }
+                        if fallback_ref.load(Ordering::Relaxed) {
+                            // leave `incoming` for the sequential replay;
+                            // the pending arena is untouched
+                            return;
+                        }
+                        let pend_base = off[dest_lo];
+                        for src in 0..shards {
+                            let (meta_v, msgs_v) = &mut scratch.incoming[src];
+                            for (&meta, msg) in meta_v.iter().zip(msgs_v.drain(..)) {
+                                let v = (meta >> 40) as usize;
+                                let p = ((meta >> 20) & 0xF_FFFF) as usize;
+                                let rp = rev_port[off[v] + p];
+                                let to = graph.neighbors(NodeId(v))[p].to.0;
+                                let slot = &mut dest_slots[off[to] + rp - pend_base];
+                                debug_assert!(
+                                    slot.is_none(),
+                                    "one sender per edge direction per round"
+                                );
+                                *slot = Some((msg, 1));
+                                scratch.delivered += 1;
+                                let m = &mut dest_marks[to - dest_lo];
+                                if *m != epoch {
+                                    *m = epoch;
+                                    scratch.dest_receivers.push(to as u32);
+                                }
+                            }
+                            meta_v.clear();
+                        }
+                        // recycle the drained batches as next round's
+                        // bucket capacity
+                        for d in 0..shards {
+                            scratch.buckets[d] = std::mem::take(&mut scratch.incoming[d]);
+                        }
                     };
-                    if ci == last {
+                    if s + 1 == shards {
                         // the caller's thread works the final shard
                         // instead of idling in join
                         run();
@@ -982,10 +1263,44 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
                     }
                 }
             });
+            if bucketed {
+                if fallback.into_inner() {
+                    return Err(self.merge_bucketed_fallback(shards));
+                }
+                let mut sent = 0u64;
+                let mut bits = 0u64;
+                let mut max_bits = 0u64;
+                let mut delivered = 0u64;
+                for s in &self.scratch[..shards] {
+                    sent += s.sent_msgs;
+                    bits += s.sent_bits;
+                    max_bits = max_bits.max(s.max_bits);
+                    delivered += s.delivered;
+                }
+                self.report.messages += sent;
+                self.report.total_bits += bits;
+                self.report.max_message_bits = self.report.max_message_bits.max(max_bits);
+                self.pending_count += delivered;
+                let RoundEngine {
+                    receivers, scratch, ..
+                } = self;
+                for s in &mut scratch[..shards] {
+                    // order differs from the sequential merge, but the
+                    // list is sorted before every use
+                    receivers.extend_from_slice(&s.dest_receivers);
+                    s.dest_receivers.clear();
+                }
+                self.round_staged = sent;
+                round_msgs = sent;
+            } else {
+                round_msgs = self.merge_staged(shards)?;
+            }
         }
-
-        let round_msgs = self.merge_staged(shards)?;
         self.apply_schedule(shards);
+        self.report.peak_memory_bytes = self
+            .report
+            .peak_memory_bytes
+            .max(self.fixed_mem + self.round_staged * Self::STAGED_BYTES);
 
         if let Some(inj) = &self.injector {
             self.report.dropped_messages = inj.dropped() + self.crash_lost;
@@ -1088,36 +1403,47 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             scratch,
             crash_lost,
             trace,
+            round_staged,
             ..
         } = self;
         let epoch = round + 1;
-        for (si, s) in scratch[..shards].iter_mut().enumerate() {
-            if let Some(t) = trace.as_mut() {
-                t.event(&TraceEvent::ShardFlush {
+        // One flush and one crash-loss event per round, aggregated over
+        // all shards, so the trace stream is byte-identical whatever
+        // KDOM_THREADS was.
+        let staged_total: u64 = scratch[..shards]
+            .iter()
+            .map(|s| s.staged_meta.len() as u64)
+            .sum();
+        *round_staged = staged_total;
+        let lost_total: u64 = scratch[..shards].iter().map(|s| s.crash_lost).sum();
+        if let Some(t) = trace.as_mut() {
+            t.event(&TraceEvent::ShardFlush {
+                round,
+                staged: staged_total,
+                bytes: staged_total * Self::STAGED_BYTES,
+            });
+            if lost_total > 0 {
+                t.event(&TraceEvent::CrashLost {
                     round,
-                    shard: si,
-                    staged: s.staged_meta.len(),
+                    copies: lost_total,
                 });
-                if s.crash_lost > 0 {
-                    t.event(&TraceEvent::CrashLost {
-                        round,
-                        copies: s.crash_lost,
-                    });
-                }
             }
-            *crash_lost += s.crash_lost;
+        }
+        *crash_lost += lost_total;
+        for s in scratch[..shards].iter_mut() {
             for (meta, msg) in s.staged_meta.drain(..).zip(s.staged_msgs.drain(..)) {
                 let v32 = (meta >> 40) as u32;
                 if v32 >= cut_node {
                     continue;
                 }
                 let (v, p) = (v32 as usize, ((meta >> 20) & 0xF_FFFF) as usize);
-                let Some(rp) = rev_port[v][p] else {
+                let rp = rev_port[off[v] + p];
+                if rp == usize::MAX {
                     return Err(SimError::BrokenTopology {
                         node: NodeId(v),
                         port: Port(p),
                     });
-                };
+                }
                 let arc = graph.neighbors(NodeId(v))[p];
                 let field = meta & META_BITS;
                 let bits = if field == META_BITS {
@@ -1169,7 +1495,7 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
                     continue; // dropped on the wire
                 }
                 let to = arc.to.0;
-                let slot = &mut pending[off[to] + rp.0];
+                let slot = &mut pending[off[to] + rp];
                 match slot {
                     // only fault duplication can target an occupied slot:
                     // one sender per edge direction per round
@@ -1191,6 +1517,74 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             });
         }
         Ok(round_msgs)
+    }
+
+    /// Sequential replay of a bucketed round on which a shard flagged a
+    /// CONGEST violation or an asymmetric topology. The workers left all
+    /// exchanged batches in their `incoming` slots and the pending arena
+    /// untouched; sorting the packed metadata words restores the exact
+    /// ascending `(sender, port)` order of the sequential merge (the
+    /// words are unique per edge direction), so the partial accounting
+    /// and delivery state at the abort match a single-threaded run
+    /// byte for byte. Always returns the error — this path only runs
+    /// when one exists.
+    fn merge_bucketed_fallback(&mut self, shards: usize) -> SimError {
+        let round = self.round;
+        let cut = self.scratch[..shards]
+            .iter()
+            .filter_map(|s| s.violation)
+            .min_by_key(|&(v, _)| v);
+        let cut_node = cut.map_or(u32::MAX, |(v, _)| v);
+        let mut entries: Vec<(u64, P::Msg)> = Vec::new();
+        for s in &mut self.scratch[..shards] {
+            for (meta, msgs) in &mut s.incoming[..shards] {
+                entries.extend(meta.drain(..).zip(msgs.drain(..)));
+            }
+        }
+        entries.sort_unstable_by_key(|&(meta, _)| meta);
+        self.round_staged = entries.len() as u64;
+        let epoch = round + 1;
+        for (meta, msg) in entries {
+            let v32 = (meta >> 40) as u32;
+            if v32 >= cut_node {
+                continue;
+            }
+            let (v, p) = (v32 as usize, ((meta >> 20) & 0xF_FFFF) as usize);
+            let rp = self.rev_port[self.off[v] + p];
+            if rp == usize::MAX {
+                return SimError::BrokenTopology {
+                    node: NodeId(v),
+                    port: Port(p),
+                };
+            }
+            let to = self.graph.neighbors(NodeId(v))[p].to.0;
+            let field = meta & META_BITS;
+            let bits = if field == META_BITS {
+                msg.size_bits() // wider than the packed field
+            } else {
+                field
+            };
+            debug_assert_eq!(bits, msg.size_bits(), "packed word out of sync");
+            self.report.messages += 1;
+            self.report.total_bits += bits;
+            self.report.max_message_bits = self.report.max_message_bits.max(bits);
+            let slot = &mut self.pending[self.off[to] + rp];
+            match slot {
+                Some((_, existing)) => *existing += 1,
+                None => *slot = Some((msg, 1)),
+            }
+            self.pending_count += 1;
+            if self.recv_mark[to] != epoch {
+                self.recv_mark[to] = epoch;
+                self.receivers.push(to as u32);
+            }
+        }
+        let (v, port) = cut.expect("fallback without violation implies a broken topology");
+        SimError::CongestViolation {
+            node: NodeId(v as usize),
+            port,
+            round,
+        }
     }
 }
 

@@ -28,6 +28,12 @@ pub struct RunReport {
     /// Retransmissions performed by the reliable-delivery layer. Zero
     /// when the layer is off or no loss occurred.
     pub retransmissions: u64,
+    /// Peak bytes resident in the round engine during the run: the fixed
+    /// footprint (graph CSR, double-buffered message arenas, reverse-port
+    /// and schedule tables, automata) plus the largest per-round
+    /// staged-send slab. Zero for executors that do not track memory
+    /// (the pre-engine reference loop and synchronizer α).
+    pub peak_memory_bytes: u64,
 }
 
 impl RunReport {
@@ -44,6 +50,9 @@ impl RunReport {
         self.dropped_messages += later.dropped_messages;
         self.duplicated_messages += later.duplicated_messages;
         self.retransmissions += later.retransmissions;
+        // phases run one after another, so the composition's peak is the
+        // largest phase's peak, not their sum
+        self.peak_memory_bytes = self.peak_memory_bytes.max(later.peak_memory_bytes);
     }
 
     /// Adds `rounds` charged rounds (used when a phase's cost is accounted
@@ -71,6 +80,9 @@ impl fmt::Display for RunReport {
                 self.dropped_messages, self.duplicated_messages, self.retransmissions
             )?;
         }
+        if self.peak_memory_bytes > 0 {
+            write!(f, " peak_mem={}", self.peak_memory_bytes)?;
+        }
         Ok(())
     }
 }
@@ -90,6 +102,7 @@ mod tests {
             dropped_messages: 3,
             duplicated_messages: 1,
             retransmissions: 4,
+            peak_memory_bytes: 1000,
         };
         let b = RunReport {
             rounds: 7,
@@ -100,6 +113,7 @@ mod tests {
             dropped_messages: 2,
             duplicated_messages: 5,
             retransmissions: 6,
+            peak_memory_bytes: 900,
         };
         a.absorb(&b);
         assert_eq!(a.rounds, 17);
@@ -110,6 +124,7 @@ mod tests {
         assert_eq!(a.dropped_messages, 5);
         assert_eq!(a.duplicated_messages, 6);
         assert_eq!(a.retransmissions, 10);
+        assert_eq!(a.peak_memory_bytes, 1000, "peak memory maxes, not sums");
     }
 
     #[test]

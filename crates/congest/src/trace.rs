@@ -2,7 +2,7 @@
 //!
 //! The paper's claims are accounting claims — round counts, message
 //! counts, `O(log n)`-bit frames — and until now the only window into a
-//! run was the eight-field [`RunReport`] produced by counters scattered
+//! run was the nine-field [`RunReport`] produced by counters scattered
 //! through the engine. This module records the *evidence* instead: every
 //! executed round, every fast-forward skip, every staged send with its
 //! `(sender, port, size_bits)`, every injected fault, every ARQ
@@ -63,6 +63,12 @@ pub enum TraceEvent<'a> {
         edges: usize,
         /// Per-message bit cap enforced by the engine, if configured.
         bit_budget: Option<u64>,
+        /// Fixed memory footprint of the executor (graph CSR, arenas,
+        /// tables, automata), in bytes. `None` for executors that do not
+        /// track memory (the reference loop and synchronizer α). The
+        /// validator re-derives `peak_memory_bytes` as this plus the
+        /// largest per-round flush.
+        fixed_mem: Option<u64>,
     },
     /// A composition-stage marker (e.g. `"BFS"`, `"Pipeline"`): all
     /// following runs and charges belong to this phase until the next
@@ -90,15 +96,17 @@ pub enum TraceEvent<'a> {
         /// Round counter after the jump.
         to: u64,
     },
-    /// A worker shard's staged sends are merged (sequentially, in shard
-    /// order) into the arena.
+    /// The round's staged sends are merged into the arena. Emitted once
+    /// per executed round with totals summed over all worker shards, so
+    /// the stream is identical regardless of `KDOM_THREADS`.
     ShardFlush {
         /// The round being merged.
         round: u64,
-        /// Shard index within the round.
-        shard: usize,
-        /// Number of sends the shard staged.
-        staged: usize,
+        /// Sends staged across all shards this round.
+        staged: u64,
+        /// Bytes the staged slab occupied (packed metadata + payload
+        /// slots); the validator's peak-memory evidence.
+        bytes: u64,
     },
     /// One staged send, at the instant it is accounted: `copies` is what
     /// the fault injector put on the wire (0 = dropped, 2 = duplicated),
@@ -250,12 +258,16 @@ pub fn to_json(ev: &TraceEvent<'_>) -> String {
             nodes,
             edges,
             bit_budget,
+            fixed_mem,
         } => {
             let mut s = String::from("{\"ev\":\"run_start\",\"mode\":\"");
             escape_into(&mut s, mode);
             s.push_str(&format!("\",\"nodes\":{nodes},\"edges\":{edges}"));
             if let Some(b) = bit_budget {
                 s.push_str(&format!(",\"budget\":{b}"));
+            }
+            if let Some(m) = fixed_mem {
+                s.push_str(&format!(",\"fixed_mem\":{m}"));
             }
             s.push('}');
             s
@@ -275,9 +287,9 @@ pub fn to_json(ev: &TraceEvent<'_>) -> String {
         }
         TraceEvent::ShardFlush {
             round,
-            shard,
             staged,
-        } => format!("{{\"ev\":\"flush\",\"r\":{round},\"shard\":{shard},\"staged\":{staged}}}"),
+            bytes,
+        } => format!("{{\"ev\":\"flush\",\"r\":{round},\"staged\":{staged},\"bytes\":{bytes}}}"),
         TraceEvent::Send {
             round,
             sender,
@@ -346,7 +358,8 @@ pub fn to_json(ev: &TraceEvent<'_>) -> String {
         ),
         TraceEvent::RunEnd { report } => format!(
             "{{\"ev\":\"run_end\",\"rounds\":{},\"messages\":{},\"total_bits\":{},\
-             \"max_message_bits\":{},\"peak\":{},\"dropped\":{},\"duplicated\":{},\"retx\":{}}}",
+             \"max_message_bits\":{},\"peak\":{},\"dropped\":{},\"duplicated\":{},\"retx\":{},\
+             \"peak_mem\":{}}}",
             report.rounds,
             report.messages,
             report.total_bits,
@@ -354,7 +367,8 @@ pub fn to_json(ev: &TraceEvent<'_>) -> String {
             report.peak_messages_per_round,
             report.dropped_messages,
             report.duplicated_messages,
-            report.retransmissions
+            report.retransmissions,
+            report.peak_memory_bytes
         ),
     }
 }
@@ -513,7 +527,7 @@ pub fn emit_refixup(epoch: u64, scope: usize, total: usize, full_restart: bool) 
 
 /// One validated run inside a trace: the report re-derived from events
 /// next to the report the engine recorded. [`validate_str`] only returns
-/// summaries whose two reports agree on all eight fields.
+/// summaries whose two reports agree on all nine fields.
 #[derive(Clone, Debug)]
 pub struct RunSummary {
     /// Execution mode (`"sync"`, `"alpha"`, `"reliable-alpha"`).
@@ -594,6 +608,8 @@ struct RunAcc {
     mode: String,
     phase: String,
     budget: Option<u64>,
+    fixed_mem: Option<u64>,
+    max_flush_bytes: u64,
     max_round: Option<u64>,
     ff_to: u64,
     max_pulse: u64,
@@ -624,6 +640,11 @@ impl RunAcc {
             r.dropped_messages = self.send_drops + self.crash_lost;
             r.duplicated_messages = self.send_dups;
             r.retransmissions = 0;
+            // Peak memory is the executor's fixed footprint plus the
+            // largest per-round staged-send slab (the flush events). A
+            // run that traced no fixed_mem (the reference loop) derives
+            // zero, matching what such executors record.
+            r.peak_memory_bytes = self.fixed_mem.map_or(0, |f| f + self.max_flush_bytes);
         } else {
             // α projection: pulses are rounds, payload deliveries are
             // messages; bit and peak accounting is deliberately zeroed
@@ -638,7 +659,7 @@ impl RunAcc {
     }
 }
 
-fn report_fields(r: &RunReport) -> [(&'static str, u64); 8] {
+fn report_fields(r: &RunReport) -> [(&'static str, u64); 9] {
     [
         ("rounds", r.rounds),
         ("messages", r.messages),
@@ -648,6 +669,7 @@ fn report_fields(r: &RunReport) -> [(&'static str, u64); 8] {
         ("dropped_messages", r.dropped_messages),
         ("duplicated_messages", r.duplicated_messages),
         ("retransmissions", r.retransmissions),
+        ("peak_memory_bytes", r.peak_memory_bytes),
     ]
 }
 
@@ -677,12 +699,14 @@ pub fn validate_file(
 
 /// Replays a JSONL trace and checks it end to end.
 ///
-/// Per run, the validator re-derives all eight [`RunReport`] fields from
+/// Per run, the validator re-derives all nine [`RunReport`] fields from
 /// the raw events (round/ff events for `rounds`, send events for
 /// `messages`/`total_bits`/`max_message_bits`/`peak`, zero-copy sends
 /// plus crash losses for `dropped_messages`, extra copies for
-/// `duplicated_messages`; under α: pulses, payload deliveries, drops,
-/// dups and retransmissions) and requires exact agreement with the
+/// `duplicated_messages`, the `run_start` fixed footprint plus the
+/// largest flush for `peak_memory_bytes`; under α: pulses, payload
+/// deliveries, drops, dups and retransmissions) and requires exact
+/// agreement with the
 /// report recorded at `run_end`. Synchronous runs are additionally
 /// checked against the CONGEST contract: no two sends may share an
 /// `(round, sender, port)` edge-direction, and — when a budget is known
@@ -729,6 +753,8 @@ pub fn validate_str(text: &str, expect_bit_budget: Option<u64>) -> Result<TraceS
                         .to_string(),
                     phase: current_phase.clone(),
                     budget: field_u64(line, "budget"),
+                    fixed_mem: field_u64(line, "fixed_mem"),
+                    max_flush_bytes: 0,
                     max_round: None,
                     ff_to: 0,
                     max_pulse: 0,
@@ -811,6 +837,8 @@ pub fn validate_str(text: &str, expect_bit_budget: Option<u64>) -> Result<TraceS
                     duplicated_messages: field_u64(line, "duplicated")
                         .ok_or_else(|| miss("duplicated"))?,
                     retransmissions: field_u64(line, "retx").ok_or_else(|| miss("retx"))?,
+                    peak_memory_bytes: field_u64(line, "peak_mem")
+                        .ok_or_else(|| miss("peak_mem"))?,
                 };
                 let derived = run.derive();
                 for ((name, d), (_, r)) in report_fields(&derived)
@@ -854,9 +882,10 @@ pub fn validate_str(text: &str, expect_bit_budget: Option<u64>) -> Result<TraceS
                         sum.ff_skipped += to - from;
                     }
                     "flush" => {
-                        // shard boundaries carry no accounting; presence
-                        // inside a run is all that is checked
                         field_u64(line, "r").ok_or_else(|| miss("r"))?;
+                        field_u64(line, "staged").ok_or_else(|| miss("staged"))?;
+                        let bytes = field_u64(line, "bytes").ok_or_else(|| miss("bytes"))?;
+                        run.max_flush_bytes = run.max_flush_bytes.max(bytes);
                     }
                     "send" => {
                         let r = field_u64(line, "r").ok_or_else(|| miss("r"))?;
@@ -970,6 +999,7 @@ mod tests {
             dropped_messages: 1,
             duplicated_messages: 1,
             retransmissions: 0,
+            peak_memory_bytes: 0,
         };
         let text = record(&[
             TraceEvent::RunStart {
@@ -977,6 +1007,7 @@ mod tests {
                 nodes: 4,
                 edges: 3,
                 bit_budget: Some(96),
+                fixed_mem: None,
             },
             TraceEvent::Round { round: 0 },
             send(0, 0, 0, 48),
@@ -1006,6 +1037,54 @@ mod tests {
     }
 
     #[test]
+    fn peak_memory_rederives_from_fixed_and_flush() {
+        let report = RunReport {
+            rounds: 2,
+            messages: 1,
+            total_bits: 48,
+            max_message_bits: 48,
+            peak_messages_per_round: 1,
+            peak_memory_bytes: 1024 + 72,
+            ..RunReport::default()
+        };
+        let events = [
+            TraceEvent::RunStart {
+                mode: "sync",
+                nodes: 2,
+                edges: 1,
+                bit_budget: None,
+                fixed_mem: Some(1024),
+            },
+            TraceEvent::Round { round: 0 },
+            TraceEvent::ShardFlush {
+                round: 0,
+                staged: 1,
+                bytes: 72,
+            },
+            send(0, 0, 0, 48),
+            TraceEvent::Round { round: 1 },
+            TraceEvent::ShardFlush {
+                round: 1,
+                staged: 0,
+                bytes: 0,
+            },
+            TraceEvent::RunEnd { report: &report },
+        ];
+        let sum = validate_str(&record(&events), None).expect("valid trace");
+        assert_eq!(sum.runs[0].derived.peak_memory_bytes, 1096);
+
+        // A cooked peak is caught like any other field.
+        let cooked = RunReport {
+            peak_memory_bytes: 4096,
+            ..report.clone()
+        };
+        let mut forged = events;
+        forged[forged.len() - 1] = TraceEvent::RunEnd { report: &cooked };
+        let err = validate_str(&record(&forged), None).expect_err("cooked peak");
+        assert!(err.contains("peak_memory_bytes"), "{err}");
+    }
+
+    #[test]
     fn double_send_on_edge_direction_is_flagged() {
         let report = RunReport {
             rounds: 1,
@@ -1021,6 +1100,7 @@ mod tests {
                 nodes: 2,
                 edges: 1,
                 bit_budget: None,
+                fixed_mem: None,
             },
             TraceEvent::Round { round: 0 },
             send(0, 0, 0, 48),
@@ -1047,6 +1127,7 @@ mod tests {
                 nodes: 2,
                 edges: 1,
                 bit_budget: None,
+                fixed_mem: None,
             },
             TraceEvent::Round { round: 0 },
             send(0, 0, 0, 200),
@@ -1073,6 +1154,7 @@ mod tests {
                 nodes: 2,
                 edges: 1,
                 bit_budget: None,
+                fixed_mem: None,
             },
             TraceEvent::Round { round: 0 },
             send(0, 0, 0, 48),
@@ -1099,6 +1181,7 @@ mod tests {
                 nodes: 2,
                 edges: 1,
                 bit_budget: None,
+                fixed_mem: None,
             },
             TraceEvent::Round { round: 0 },
             send(0, 0, 0, 48),
@@ -1138,6 +1221,7 @@ mod tests {
                 nodes: 2,
                 edges: 1,
                 bit_budget: None,
+                fixed_mem: None,
             },
             TraceEvent::Pulse { pulse: 1 },
             TraceEvent::Drop {
@@ -1182,6 +1266,7 @@ mod tests {
             nodes: 1,
             edges: 0,
             bit_budget: None,
+            fixed_mem: None,
         }]);
         let err = validate_str(&text, None).expect_err("open run must fail");
         assert!(err.contains("no run_end"), "{err}");
@@ -1208,6 +1293,7 @@ mod tests {
         dropped_messages: 0,
         duplicated_messages: 0,
         retransmissions: 0,
+        peak_memory_bytes: 0,
     };
 
     fn tiny_run(nodes: usize) -> [TraceEvent<'static>; 2] {
@@ -1217,6 +1303,7 @@ mod tests {
                 nodes,
                 edges: 0,
                 bit_budget: None,
+                fixed_mem: None,
             },
             TraceEvent::RunEnd {
                 report: &ZERO_REPORT,

@@ -7,7 +7,7 @@
 
 use kdom_rng::StdRng;
 
-use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::graph::{EdgeId, EdgeRef, Graph, NodeId};
 
 /// Size + seed configuration for the randomized generators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,13 +50,52 @@ fn random_ids(n: usize, rng: &mut StdRng) -> Vec<u64> {
 
 /// Assigns random distinct weights/ids to a prepared edge list.
 fn assemble(n: usize, edges: &[(usize, usize)], rng: &mut StdRng) -> Graph {
-    let mut b = GraphBuilder::new(n);
-    let w = distinct_weights(edges.len(), rng);
-    for (&(u, v), &wt) in edges.iter().zip(&w) {
-        b.add_edge(NodeId(u), NodeId(v), wt);
+    assemble_streamed(n, edges.len(), edges.iter().copied(), rng)
+}
+
+/// Streaming [`assemble`]: consumes an edge *iterator* of known length
+/// `m` directly into the graph's final edge array — no intermediate
+/// pair `Vec`, which matters at 10^6 nodes. The RNG call order
+/// (`distinct_weights(m)`, then the edge pass, then `random_ids(n)`)
+/// is exactly [`assemble`]'s, so a generator switching to the streamed
+/// path produces a byte-identical graph for the same seed.
+///
+/// # Panics
+///
+/// Panics if the iterator does not yield exactly `m` edges, or on any
+/// edge [`Graph::from_edges`] rejects.
+fn assemble_streamed(
+    n: usize,
+    m: usize,
+    edges: impl IntoIterator<Item = (usize, usize)>,
+    rng: &mut StdRng,
+) -> Graph {
+    let w = distinct_weights(m, rng);
+    let mut list: Vec<EdgeRef> = Vec::with_capacity(m);
+    for ((u, v), &wt) in edges.into_iter().zip(&w) {
+        list.push(EdgeRef {
+            id: EdgeId(list.len()),
+            u: NodeId(u),
+            v: NodeId(v),
+            weight: wt,
+        });
     }
-    b.ids(random_ids(n, rng));
-    b.build()
+    assert_eq!(list.len(), m, "edge stream must yield exactly m edges");
+    let ids = random_ids(n, rng);
+    Graph::from_edges(n, list, Some(ids))
+}
+
+/// Draws weights for an edge list collected with placeholder weights,
+/// then ids, and finalizes — the tail shared by the streaming
+/// generators whose edge count is only known after dedup
+/// ([`random_regular`], [`gnm_connected`]).
+fn finish_weighted(n: usize, mut edges: Vec<EdgeRef>, rng: &mut StdRng) -> Graph {
+    let w = distinct_weights(edges.len(), rng);
+    for (e, wt) in edges.iter_mut().zip(w) {
+        e.weight = wt;
+    }
+    let ids = random_ids(n, rng);
+    Graph::from_edges(n, edges, Some(ids))
 }
 
 /// Path `0 - 1 - … - n-1`.
@@ -175,23 +214,22 @@ pub fn broom(cfg: &GenConfig, handle: usize) -> Graph {
 }
 
 /// `rows × cols` grid graph — the canonical "diameter ≈ √n" topology where
-/// `FastMST` shines.
+/// `FastMST` shines. Edges are streamed straight into the graph (no
+/// intermediate pair list), in the same row-major right-then-down order
+/// as ever.
 pub fn grid(rows: usize, cols: usize, seed: u64) -> Graph {
     assert!(rows > 0 && cols > 0);
     let mut rng = StdRng::seed_from_u64(seed);
-    let id = |r: usize, c: usize| r * cols + c;
-    let mut edges = Vec::new();
-    for r in 0..rows {
-        for c in 0..cols {
-            if c + 1 < cols {
-                edges.push((id(r, c), id(r, c + 1)));
-            }
-            if r + 1 < rows {
-                edges.push((id(r, c), id(r + 1, c)));
-            }
-        }
-    }
-    assemble(rows * cols, &edges, &mut rng)
+    let id = move |r: usize, c: usize| r * cols + c;
+    let m = rows * (cols - 1) + (rows - 1) * cols;
+    let edges = (0..rows).flat_map(move |r| {
+        (0..cols).flat_map(move |c| {
+            let right = (c + 1 < cols).then(|| (id(r, c), id(r, c + 1)));
+            let down = (r + 1 < rows).then(|| (id(r, c), id(r + 1, c)));
+            right.into_iter().chain(down)
+        })
+    });
+    assemble_streamed(rows * cols, m, edges, &mut rng)
 }
 
 /// Erdős–Rényi `G(n, p)` conditioned on connectivity: a uniform random
@@ -296,15 +334,96 @@ pub fn hypercube(d: u32, seed: u64) -> Graph {
 pub fn torus(rows: usize, cols: usize, seed: u64) -> Graph {
     assert!(rows >= 3 && cols >= 3, "torus needs sides ≥ 3");
     let mut rng = StdRng::seed_from_u64(seed);
-    let id = |r: usize, c: usize| (r % rows) * cols + (c % cols);
-    let mut edges = Vec::new();
-    for r in 0..rows {
-        for c in 0..cols {
-            edges.push((id(r, c), id(r, c + 1)));
-            edges.push((id(r, c), id(r + 1, c)));
+    let id = move |r: usize, c: usize| (r % rows) * cols + (c % cols);
+    let edges = (0..rows).flat_map(move |r| {
+        (0..cols).flat_map(move |c| [(id(r, c), id(r, c + 1)), (id(r, c), id(r + 1, c))])
+    });
+    assemble_streamed(rows * cols, 2 * rows * cols, edges, &mut rng)
+}
+
+/// Random (near-)`d`-regular graph: the union of `d/2` Hamiltonian
+/// cycles on independent random permutations. Every node has degree
+/// exactly `d` unless two cycles collide on an edge (rare, and only
+/// ever *lowers* a degree); the first cycle alone makes the graph
+/// connected, so no retry loop is needed. Streams edges without
+/// intermediate pair lists — the designated low-diameter topology for
+/// the 10^5–10^6-node engine rows.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `d` is odd or less than 2.
+pub fn random_regular(cfg: &GenConfig, d: usize) -> Graph {
+    assert!(cfg.n >= 3, "a cycle cover needs at least 3 nodes");
+    assert!(d >= 2 && d.is_multiple_of(2), "degree must be even and ≥ 2");
+    let n = cfg.n;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut present = std::collections::HashSet::with_capacity(n * d / 2);
+    let mut edges: Vec<EdgeRef> = Vec::with_capacity(n * d / 2);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for _ in 0..d / 2 {
+        rng.shuffle(&mut perm);
+        for i in 0..n {
+            let (a, b) = (perm[i], perm[(i + 1) % n]);
+            if present.insert((a.min(b), a.max(b))) {
+                edges.push(EdgeRef {
+                    id: EdgeId(edges.len()),
+                    u: NodeId(a),
+                    v: NodeId(b),
+                    weight: 0,
+                });
+            }
         }
     }
-    assemble(rows * cols, &edges, &mut rng)
+    finish_weighted(n, edges, &mut rng)
+}
+
+/// Streaming `G(n, m)` conditioned on connectivity: a random-permutation
+/// recursive-tree skeleton plus `m - n + 1` distinct random extra
+/// edges, written straight into the graph's edge array (contrast
+/// [`random_connected`], which it supersedes at scale — no `n × n`
+/// structures, no intermediate pair list, usable at 10^6 nodes).
+///
+/// # Panics
+///
+/// Panics if `m` is out of `[n-1, n(n-1)/2]`.
+pub fn gnm_connected(cfg: &GenConfig, m: usize) -> Graph {
+    let n = cfg.n;
+    assert!(n > 0);
+    let max_m = n.saturating_mul(n - 1) / 2;
+    assert!(
+        m + 1 >= n && m <= max_m,
+        "m out of range for connected graph"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut perm);
+    let mut present = std::collections::HashSet::with_capacity(m);
+    let mut edges: Vec<EdgeRef> = Vec::with_capacity(m);
+    let push = |edges: &mut Vec<EdgeRef>, a: usize, b: usize| {
+        edges.push(EdgeRef {
+            id: EdgeId(edges.len()),
+            u: NodeId(a),
+            v: NodeId(b),
+            weight: 0,
+        });
+    };
+    for i in 1..n {
+        let a = perm[i];
+        let b = perm[rng.random_range(0..i)];
+        present.insert((a.min(b), a.max(b)));
+        push(&mut edges, a, b);
+    }
+    while edges.len() < m {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v {
+            continue;
+        }
+        if present.insert((u.min(v), u.max(v))) {
+            push(&mut edges, u, v);
+        }
+    }
+    finish_weighted(n, edges, &mut rng)
 }
 
 /// Expander-ish random graph: the union of `d` random perfect-matching-
@@ -589,6 +708,77 @@ mod tests {
         assert!(dot.starts_with("graph kdom {"));
         assert!(dot.contains("n0 -- n1"));
         assert!(dot.trim_end().ends_with('}'));
+    }
+
+    /// The streamed grid/torus paths must generate byte-identical graphs
+    /// to eagerly collecting the same edge order and calling `assemble`
+    /// (the pre-CSR behaviour) — same weights, ids, and adjacency.
+    #[test]
+    fn streamed_grid_torus_match_eager_assembly() {
+        let (rows, cols, seed) = (5, 7, 31);
+        let mut eager = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    eager.push((r * cols + c, r * cols + c + 1));
+                }
+                if r + 1 < rows {
+                    eager.push((r * cols + c, (r + 1) * cols + c));
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        assert_eq!(
+            grid(rows, cols, seed),
+            assemble(rows * cols, &eager, &mut rng)
+        );
+
+        let id = |r: usize, c: usize| (r % rows) * cols + (c % cols);
+        let mut eager = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                eager.push((id(r, c), id(r, c + 1)));
+                eager.push((id(r, c), id(r + 1, c)));
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        assert_eq!(
+            torus(rows, cols, seed),
+            assemble(rows * cols, &eager, &mut rng)
+        );
+    }
+
+    #[test]
+    fn random_regular_shape() {
+        let g = random_regular(&GenConfig::with_seed(400, 7), 4);
+        check_invariants(&g);
+        assert!(g.nodes().all(|v| g.degree(v) <= 4));
+        // collisions are rare: the vast majority of nodes are exactly 4-regular
+        let full = g.nodes().filter(|&v| g.degree(v) == 4).count();
+        assert!(full * 10 >= 400 * 9, "only {full}/400 nodes are 4-regular");
+        assert_eq!(
+            random_regular(&GenConfig::with_seed(400, 7), 4),
+            g,
+            "seed-deterministic"
+        );
+    }
+
+    #[test]
+    fn gnm_connected_matches_requested_edges() {
+        for m in [9usize, 20, 45] {
+            let g = gnm_connected(&GenConfig::with_seed(10, 4), m);
+            assert_eq!(g.edge_count(), m);
+            check_invariants(&g);
+        }
+        let g = gnm_connected(&GenConfig::with_seed(300, 12), 900);
+        assert_eq!(g.edge_count(), 900);
+        check_invariants(&g);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gnm_connected_rejects_too_few_edges() {
+        gnm_connected(&GenConfig::with_seed(10, 4), 5);
     }
 
     #[test]

@@ -6,6 +6,16 @@
 //! paper ("nodes have unique identifiers"). Edge weights are `u64` and the
 //! generators guarantee they are pairwise distinct ("each edge is associated
 //! with a distinct weight, known to the adjacent nodes").
+//!
+//! Adjacency is stored in **CSR (compressed sparse row)** form: one
+//! contiguous [`Arc`] array plus per-node offsets, so `neighbors(v)` is a
+//! slice into a single allocation. At 10^6 nodes this replaces `n`
+//! separate `Vec<Arc>` allocations (and their pointer-chasing) with two
+//! flat arrays — the difference between a graph that fits hot in cache
+//! and one that doesn't. The per-node arc order is **identical** to the
+//! historical `Vec<Vec<Arc>>` representation (arcs appear in edge
+//! insertion order), so every byte-identity guarantee downstream
+//! survives the representation swap.
 
 use std::fmt;
 
@@ -98,22 +108,107 @@ pub struct Arc {
     pub edge: EdgeId,
 }
 
-/// An undirected weighted graph with unique node identifiers.
+/// An undirected weighted graph with unique node identifiers, adjacency
+/// in CSR form.
 ///
-/// Construct with [`GraphBuilder`] or one of the functions in
-/// [`crate::generators`].
+/// Construct with [`GraphBuilder`] (or [`Graph::from_edges`] for a
+/// streamed edge source) or one of the functions in [`crate::generators`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Graph {
-    adj: Vec<Vec<Arc>>,
+    /// CSR offsets: node `v`'s arcs are `arcs[offsets[v]..offsets[v+1]]`.
+    offsets: Vec<usize>,
+    /// All arcs, grouped by source node; within a node, in edge
+    /// insertion order (both directions of edge `i` are placed before
+    /// both directions of edge `i+1`).
+    arcs: Vec<Arc>,
     edges: Vec<EdgeRef>,
     ids: Vec<u64>,
 }
 
 impl Graph {
+    /// Builds a graph directly from a finalized edge list — the CSR
+    /// construction shared by [`GraphBuilder::build`] and the streaming
+    /// generators: count degrees, prefix-sum into offsets, then place
+    /// both arcs of every edge in insertion order (reproducing exactly
+    /// the adjacency order the historical `Vec<Vec<Arc>>` push loop
+    /// produced). `ids` of `None` default to `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self loops, out-of-range endpoints, duplicate
+    /// (parallel) edges, non-consecutive [`EdgeId`]s, or an id list of
+    /// the wrong length.
+    pub fn from_edges(n: usize, edges: Vec<EdgeRef>, ids: Option<Vec<u64>>) -> Graph {
+        let mut degree = vec![0usize; n];
+        for (i, e) in edges.iter().enumerate() {
+            assert_eq!(e.id, EdgeId(i), "edge ids must be consecutive");
+            assert!(e.u != e.v, "self loops are not allowed");
+            assert!(e.u.0 < n && e.v.0 < n, "endpoint out of range");
+            degree[e.u.0] += 1;
+            degree[e.v.0] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        // cursor[v]: next free slot in v's CSR range during the fill
+        let mut cursor = offsets[..n].to_vec();
+        let mut arcs = vec![
+            Arc {
+                to: NodeId(0),
+                weight: 0,
+                edge: EdgeId(0),
+            };
+            acc
+        ];
+        let mut place = |cursor: &mut [usize], from: NodeId, arc: Arc| {
+            assert!(
+                !arcs[offsets[from.0]..cursor[from.0]]
+                    .iter()
+                    .any(|a| a.to == arc.to),
+                "parallel edge {from:?}-{:?}",
+                arc.to
+            );
+            arcs[cursor[from.0]] = arc;
+            cursor[from.0] += 1;
+        };
+        for e in &edges {
+            place(
+                &mut cursor,
+                e.u,
+                Arc {
+                    to: e.v,
+                    weight: e.weight,
+                    edge: e.id,
+                },
+            );
+            place(
+                &mut cursor,
+                e.v,
+                Arc {
+                    to: e.u,
+                    weight: e.weight,
+                    edge: e.id,
+                },
+            );
+        }
+        let ids = ids.unwrap_or_else(|| (0..n as u64).collect());
+        assert_eq!(ids.len(), n, "one id per node required");
+        Graph {
+            offsets,
+            arcs,
+            edges,
+            ids,
+        }
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of undirected edges.
@@ -124,7 +219,7 @@ impl Graph {
 
     /// Iterator over all node indices.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.adj.len()).map(NodeId)
+        (0..self.node_count()).map(NodeId)
     }
 
     /// All edges of the graph.
@@ -144,16 +239,16 @@ impl Graph {
     }
 
     /// Adjacency list of `v`: each entry names a neighbor, the edge weight
-    /// and the edge id.
+    /// and the edge id. A contiguous CSR slice.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[Arc] {
-        &self.adj[v.0]
+        &self.arcs[self.offsets[v.0]..self.offsets[v.0 + 1]]
     }
 
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v.0].len()
+        self.offsets[v.0 + 1] - self.offsets[v.0]
     }
 
     /// The unique application-level identifier of `v`.
@@ -193,10 +288,21 @@ impl Graph {
 
     /// The edge connecting `u` and `v`, if any.
     pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeRef> {
-        self.adj[u.0]
+        self.neighbors(u)
             .iter()
             .find(|a| a.to == v)
             .map(|a| self.edges[a.edge.0])
+    }
+
+    /// Heap bytes held by the graph's four arrays (CSR offsets + arcs,
+    /// edge list, id list). Deterministic — computed from lengths, not
+    /// allocator capacities — so it can participate in byte-identical
+    /// reports.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.offsets.len() * std::mem::size_of::<usize>()
+            + self.arcs.len() * std::mem::size_of::<Arc>()
+            + self.edges.len() * std::mem::size_of::<EdgeRef>()
+            + self.ids.len() * std::mem::size_of::<u64>()) as u64
     }
 }
 
@@ -214,7 +320,7 @@ impl Graph {
 #[derive(Clone, Debug, Default)]
 pub struct GraphBuilder {
     n: usize,
-    edges: Vec<(NodeId, NodeId, u64)>,
+    edges: Vec<EdgeRef>,
     ids: Option<Vec<u64>>,
 }
 
@@ -248,7 +354,12 @@ impl GraphBuilder {
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: u64) -> &mut Self {
         assert!(u != v, "self loops are not allowed");
         assert!(u.0 < self.n && v.0 < self.n, "endpoint out of range");
-        self.edges.push((u, v, weight));
+        self.edges.push(EdgeRef {
+            id: EdgeId(self.edges.len()),
+            u,
+            v,
+            weight,
+        });
         self
     }
 
@@ -268,36 +379,18 @@ impl GraphBuilder {
     ///
     /// Panics if a duplicate (parallel) edge was added.
     pub fn build(&self) -> Graph {
-        let mut adj: Vec<Vec<Arc>> = vec![Vec::new(); self.n];
-        let mut edges = Vec::with_capacity(self.edges.len());
-        for (i, &(u, v, w)) in self.edges.iter().enumerate() {
-            let id = EdgeId(i);
-            assert!(
-                !adj[u.0].iter().any(|a| a.to == v),
-                "parallel edge {u:?}-{v:?}"
-            );
-            adj[u.0].push(Arc {
-                to: v,
-                weight: w,
-                edge: id,
-            });
-            adj[v.0].push(Arc {
-                to: u,
-                weight: w,
-                edge: id,
-            });
-            edges.push(EdgeRef {
-                id,
-                u,
-                v,
-                weight: w,
-            });
-        }
-        let ids = self
-            .ids
-            .clone()
-            .unwrap_or_else(|| (0..self.n as u64).collect());
-        Graph { adj, edges, ids }
+        Graph::from_edges(self.n, self.edges.clone(), self.ids.clone())
+    }
+
+    /// Finalizes the graph, consuming the builder — the edge list moves
+    /// into the graph instead of being cloned. Preferred at million-node
+    /// scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a duplicate (parallel) edge was added.
+    pub fn build_consumed(self) -> Graph {
+        Graph::from_edges(self.n, self.edges, self.ids)
     }
 }
 
@@ -384,5 +477,43 @@ mod tests {
         let g = triangle();
         let all: Vec<EdgeId> = g.edges().iter().map(|e| e.id).collect();
         assert_eq!(g.total_weight(all), 21);
+    }
+
+    /// CSR adjacency must reproduce the edge-insertion order the old
+    /// `Vec<Vec<Arc>>` push loop produced: within a node, arcs appear in
+    /// ascending edge id.
+    #[test]
+    fn csr_preserves_insertion_order() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(2), NodeId(0), 10); // e0
+        b.add_edge(NodeId(0), NodeId(1), 11); // e1
+        b.add_edge(NodeId(3), NodeId(0), 12); // e2
+        b.add_edge(NodeId(1), NodeId(2), 13); // e3
+        let g = b.build();
+        let order: Vec<usize> = g.neighbors(NodeId(0)).iter().map(|a| a.edge.0).collect();
+        assert_eq!(order, vec![0, 1, 2], "arcs of node 0 in edge order");
+        assert_eq!(g.neighbors(NodeId(0))[0].to, NodeId(2));
+        let order1: Vec<usize> = g.neighbors(NodeId(1)).iter().map(|a| a.edge.0).collect();
+        assert_eq!(order1, vec![1, 3]);
+        assert!(g.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn build_consumed_matches_build() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 5);
+        b.add_edge(NodeId(1), NodeId(2), 7);
+        assert_eq!(b.build(), b.clone().build_consumed());
+    }
+
+    #[test]
+    fn from_edges_builds_isolated_nodes() {
+        let g = Graph::from_edges(3, Vec::new(), None);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 0);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 0);
+            assert!(g.neighbors(v).is_empty());
+        }
     }
 }

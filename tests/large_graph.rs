@@ -1,0 +1,149 @@
+//! Large-graph legs: the determinism contract and the memory budget at
+//! 10^5-node scale, on graphs produced by the streaming generators
+//! (`gnm_connected` writes edges straight into the CSR arrays — no
+//! `n × n` structures, no intermediate pair lists).
+//!
+//! The parity tests here are the million-node engine's proving ground:
+//! with `shard_min` lowered, every multi-thread round takes the
+//! destination-sharded bucketed merge, and the node states, the full
+//! `RunReport` (peak memory included), and the synchronizer-α outputs
+//! must all be byte-identical to the single-threaded legs. The
+//! budget test pins the reported engine peak for a streamed Fast-MST run.
+//!
+//! Every test here is `#[ignore]`d: at this scale the legs take minutes
+//! even in release mode, so the default (debug) `cargo test` run only
+//! compiles them. The CI `large-graph` job runs the binary with
+//! `--release -- --ignored --test-threads=1` — single-threaded because
+//! the budget test touches the engine env vars (the composed runner
+//! reads them) and must not race the explicit-config parity legs.
+
+use kdom::congest::{AlphaSimulator, EngineConfig, Scheduling, Simulator};
+use kdom::core::dist::bfs::BfsNode;
+use kdom::core::dist::fragments::FragmentNode;
+use kdom::graph::generators::{gnm_connected, GenConfig};
+use kdom::graph::Graph;
+use kdom::mst::fastmst::fast_mst;
+
+const N: usize = 100_000;
+const M: usize = 200_000;
+
+/// The shared 10^5-node, 2×10^5-edge streamed graph.
+fn big_graph() -> Graph {
+    gnm_connected(&GenConfig::with_seed(N, 2026), M)
+}
+
+/// The configurations the large runs must agree across: both schedulers
+/// single-threaded, plus a 4-thread active-set leg whose `shard_min` is
+/// low enough that even late, sparse frontiers still split into multiple
+/// shards (so the bucketed merge is exercised on every parallel round).
+fn configs() -> Vec<(&'static str, EngineConfig)> {
+    let base = EngineConfig::default().with_shard_min(64);
+    vec![
+        (
+            "full-scan/1t",
+            base.with_scheduling(Scheduling::FullScan).with_threads(1),
+        ),
+        ("active-set/1t", base.with_threads(1)),
+        ("active-set/4t", base.with_threads(4)),
+    ]
+}
+
+fn assert_parity<P, F>(g: &Graph, make_nodes: F, what: &str) -> String
+where
+    P: kdom::congest::Protocol + std::fmt::Debug,
+    F: Fn(&Graph) -> Vec<P>,
+{
+    let mut baseline: Option<(String, String)> = None;
+    for (name, cfg) in configs() {
+        let mut sim = Simulator::with_config(g, make_nodes(g), cfg);
+        sim.run(1_000_000).expect("large run quiesces");
+        let nodes = format!("{:?}", sim.nodes());
+        let report = format!("{:?}", sim.report());
+        assert!(
+            sim.report().peak_memory_bytes > 0,
+            "{what}: engine must report peak memory"
+        );
+        match &baseline {
+            None => baseline = Some((nodes, report)),
+            Some((n, r)) => {
+                assert_eq!(n, &nodes, "{what}: node states diverged under {name}");
+                assert_eq!(r, &report, "{what}: RunReport diverged under {name}");
+            }
+        }
+    }
+    baseline.expect("at least one config ran").0
+}
+
+/// BFS across the full config matrix, then the same protocol under
+/// synchronizer α: the asynchronous execution must land on the exact
+/// depths of the synchronous baseline.
+#[test]
+#[ignore = "release-mode CI leg (minutes in debug); run with --ignored"]
+fn bfs_parity_and_alpha_at_1e5() {
+    let g = big_graph();
+    let make = |g: &Graph| {
+        (0..g.node_count())
+            .map(|v| BfsNode::new(v == 0))
+            .collect::<Vec<BfsNode>>()
+    };
+    let sync_nodes = assert_parity(&g, make, "large BFS");
+
+    let mut alpha = AlphaSimulator::new(&g, make(&g), 9, 3);
+    alpha.run(10_000_000).expect("α BFS quiesces");
+    assert_eq!(
+        sync_nodes,
+        format!("{:?}", alpha.into_nodes()),
+        "α diverged from the synchronous engine at 10^5 nodes"
+    );
+}
+
+/// SimpleMST fragments at 10^5 nodes: the message-heaviest parity leg —
+/// fragment merges keep a large active set alive for many rounds, so the
+/// bucketed merge carries real per-round volume here.
+#[test]
+#[ignore = "release-mode CI leg (minutes in debug); run with --ignored"]
+fn simple_mst_parity_at_1e5() {
+    let g = big_graph();
+    assert_parity(
+        &g,
+        |g| {
+            g.nodes()
+                .map(|v| FragmentNode::new(6, g.id_of(v)))
+                .collect::<Vec<FragmentNode>>()
+        },
+        "large SimpleMST",
+    );
+}
+
+/// CI `large-graph` smoke: streamed Fast-MST (`k = ⌈√n⌉`) at 10^5 nodes
+/// under `KDOM_THREADS=4`, asserting the reported engine peak memory
+/// stays under a pinned budget. The budget is deliberately generous —
+/// it exists to catch accidental O(n²) structures or unbounded staging
+/// growth, not to tune constants.
+#[test]
+#[ignore = "release-mode CI leg (minutes in debug); run with --ignored"]
+fn fast_mst_1e5_peak_memory_budget() {
+    const BUDGET: u64 = 256 << 20; // 256 MiB for n = 10^5, m = 2×10^5
+
+    std::env::set_var("KDOM_THREADS", "4");
+    std::env::set_var("KDOM_SCHED", "active");
+    let g = big_graph();
+    let run = fast_mst(&g);
+    std::env::remove_var("KDOM_THREADS");
+    std::env::remove_var("KDOM_SCHED");
+
+    assert_eq!(run.mst_edges.len(), N - 1, "spanning tree incomplete");
+    assert_eq!(run.stalls, 0, "pipeline stalled (Lemma 5.3)");
+    let peak = run.pipeline_report.peak_memory_bytes;
+    assert!(peak > 0, "pipeline must report peak memory");
+    assert!(
+        peak <= BUDGET,
+        "pipeline peak {peak} bytes exceeds the {BUDGET}-byte budget"
+    );
+    eprintln!(
+        "fast_mst_1e5: peak {} MiB of {} MiB budget, {} total rounds",
+        peak >> 20,
+        BUDGET >> 20,
+        run.total_rounds()
+    );
+}
