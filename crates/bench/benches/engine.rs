@@ -9,14 +9,14 @@
 //! overhead instead.
 
 use kdom_bench::harness::{
-    can_bench_threads, check_regression_gate, note_extra, note_rounds, record_measurement,
-    write_engine_json, Criterion, Histogram,
+    can_bench_threads, check_regression_gate, note_extra, note_mode, note_rounds,
+    record_measurement, write_engine_json, Criterion, Histogram,
 };
 use kdom_bench::{criterion_group, criterion_main};
 use kdom_congest::engine::run_reference_loop;
-use kdom_congest::{EngineConfig, Scheduling, Simulator};
+use kdom_congest::{CodecScratch, EngineConfig, Scheduling, Simulator};
 use kdom_core::dist::bfs::BfsNode;
-use kdom_core::dist::fragments::FragmentNode;
+use kdom_core::dist::fragments::{FrMsg, FragmentNode};
 use kdom_graph::generators::Family;
 use kdom_graph::Graph;
 use kdom_mst::fastmst::fast_mst;
@@ -27,10 +27,15 @@ fn mst_nodes(g: &Graph, k: usize) -> Vec<FragmentNode> {
         .collect()
 }
 
+/// The historical zero-copy engine configuration. Wire-exact became the
+/// engine default, so the long-standing leg names (`active-set-1t`, …)
+/// pin it **off** to keep measuring what they always measured; the
+/// explicit `-wire-exact` legs measure the codec on top.
 fn engine_cfg(sched: Scheduling, threads: usize) -> EngineConfig {
     EngineConfig::default()
         .with_scheduling(sched)
         .with_threads(threads)
+        .with_wire_exact(false)
 }
 
 /// BFS on a 2000-node path: diameter-bound rounds where only the frontier
@@ -72,6 +77,7 @@ fn bench_bfs_path(c: &mut Criterion) {
             }),
         });
         note_rounds(&format!("engine/bfs_path2000/{leg}"), ref_report.rounds);
+        note_mode(&format!("engine/bfs_path2000/{leg}"), "zero-copy");
     }
     g.finish();
 }
@@ -91,9 +97,10 @@ fn bench_simple_mst(c: &mut Criterion) {
         ("full-scan-1t", Some(engine_cfg(Scheduling::FullScan, 1))),
         ("active-set-1t", Some(engine_cfg(Scheduling::ActiveSet, 1))),
         ("active-set-4t", Some(engine_cfg(Scheduling::ActiveSet, 4))),
-        // codec-overhead probe: every message encoded at send and decoded
-        // at delivery. Measured, not gated — the committed baseline has no
-        // entry for this leg, so the regression gate skips it by design.
+        // codec-overhead probe: every message round-trips through the
+        // branchless codec via the per-worker scratch. This is the leg
+        // the wire-exact-by-default decision rests on: it must stay
+        // within a small factor of `active-set-1t` on the same run.
         (
             "active-set-1t-wire-exact",
             Some(engine_cfg(Scheduling::ActiveSet, 1).with_wire_exact(true)),
@@ -130,9 +137,15 @@ fn bench_simple_mst(c: &mut Criterion) {
                 sim.run(1_000_000).map(|r| r.rounds)
             }),
         });
-        note_rounds(
-            &format!("engine/simple_mst_grid2500/{leg}"),
-            ref_report.rounds,
+        let row = format!("engine/simple_mst_grid2500/{leg}");
+        note_rounds(&row, ref_report.rounds);
+        note_mode(
+            &row,
+            if cfg.is_some_and(|c| c.wire_exact) {
+                "wire-exact"
+            } else {
+                "zero-copy"
+            },
         );
     }
     g.finish();
@@ -145,6 +158,10 @@ fn bench_simple_mst(c: &mut Criterion) {
 /// medians. Skipped rounds never enter the histogram — they cost O(1)
 /// total — so "rounds/second" can be read honestly: executed rounds are
 /// timed, skipped rounds are counted.
+///
+/// Runs in wire-exact mode (the engine default) with codec profiling on,
+/// so the encode/decode share of the per-round cost is split out of the
+/// aggregate: `codec_ns`/`codec_msgs` land in the JSON row as extras.
 fn profile_round_walltime(_c: &mut Criterion) {
     let graph = Family::Grid.generate(2500, 7);
     let k = 25;
@@ -152,7 +169,10 @@ fn profile_round_walltime(_c: &mut Criterion) {
     let mut sim = Simulator::with_config(
         &graph,
         mst_nodes(&graph, k),
-        engine_cfg(Scheduling::ActiveSet, 1),
+        EngineConfig::default()
+            .with_scheduling(Scheduling::ActiveSet)
+            .with_threads(1)
+            .with_codec_profile(true),
     );
     let mut hist = Histogram::new();
     let start = std::time::Instant::now();
@@ -167,6 +187,7 @@ fn profile_round_walltime(_c: &mut Criterion) {
     }
     let wall = start.elapsed().as_secs_f64();
     let (ff_jumps, ff_skipped) = sim.fast_forward_stats();
+    let (codec_ns, codec_msgs) = sim.codec_stats();
     let simulated = sim.report().rounds;
     eprintln!("group engine/round_profile");
     eprintln!("  simple_mst_grid2500/active-set-1t: {}", hist.summary());
@@ -174,23 +195,34 @@ fn profile_round_walltime(_c: &mut Criterion) {
         "    executed {} of {simulated} simulated rounds; fast-forward skipped {ff_skipped} in {ff_jumps} jumps",
         hist.count()
     );
+    eprintln!(
+        "    codec (wire-exact): {:.2}% of wall — {:.1} ms over {codec_msgs} messages ({:.0} ns/msg)",
+        codec_ns as f64 / 1e9 / wall.max(1e-12) * 100.0,
+        codec_ns as f64 / 1e6,
+        codec_ns as f64 / (codec_msgs.max(1)) as f64
+    );
     record_measurement(name, wall);
     note_rounds(name, simulated);
+    note_mode(name, "wire-exact");
     note_extra(name, "executed_rounds", hist.count());
     note_extra(name, "ff_skipped_rounds", ff_skipped);
     note_extra(name, "ff_jumps", ff_jumps);
+    note_extra(name, "codec_ns", codec_ns);
+    note_extra(name, "codec_msgs", codec_msgs);
 }
 
 /// The full Fast-MST composition on a ~1600-node grid; the composed
 /// runners read `KDOM_THREADS`/`KDOM_SCHED` from the environment, so the
 /// legs are driven through env vars (the bench harness is one thread, so
-/// the mutation is race-free).
+/// the mutation is race-free). `KDOM_WIRE` is left unset, so these legs
+/// run wire-exact — the engine default — and are tagged as such.
 fn bench_fast_mst(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine/fast_mst_grid1600");
     let graph = Family::Grid.generate(1600, 11);
 
     std::env::remove_var("KDOM_SCHED");
     std::env::remove_var("KDOM_THREADS");
+    std::env::remove_var("KDOM_WIRE");
     let want = fast_mst(&graph);
     for (leg, threads, sched) in [
         ("full-scan-1t", "1", "full"),
@@ -211,55 +243,146 @@ fn bench_fast_mst(c: &mut Criterion) {
             continue;
         }
         g.bench_function(leg, |b| b.iter(|| fast_mst(std::hint::black_box(&graph))));
-        note_rounds(
-            &format!("engine/fast_mst_grid1600/{leg}"),
-            want.total_rounds(),
-        );
+        let row = format!("engine/fast_mst_grid1600/{leg}");
+        note_rounds(&row, want.total_rounds());
+        note_mode(&row, "wire-exact");
     }
     std::env::remove_var("KDOM_SCHED");
     std::env::remove_var("KDOM_THREADS");
     g.finish();
 }
 
-/// Million-node row: the full Fast-MST composition (`k = ⌈√n⌉ = 1000`)
-/// on a streamed `G(n, m)` graph with 10^6 nodes and 2×10^6 edges.
-/// Timed as a single iteration — the run is far past the harness batch
-/// budget — and the reported engine peak memory lands in the JSON as an
-/// extra, where the trace validator and the CI budget assert can see it.
-/// Skipped in smoke runs (`KDOM_BENCH_MS=0`): CI covers this scale with
-/// the dedicated `large-graph` job at 10^5 nodes instead.
+/// Codec microbench: raw bit I/O and full message round-trips through
+/// the branchless codec, with and without scratch-buffer reuse. These
+/// rows quantify the per-message cost that wire-exact execution adds to
+/// every engine send.
+fn bench_wire_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+
+    // a representative SimpleMST message mix (every FrMsg variant)
+    let msgs: Vec<FrMsg> = (0..256u64)
+        .map(|i| match i % 7 {
+            0 => FrMsg::Probe {
+                hops: i as u32,
+                root_id: i.wrapping_mul(0x9e37_79b9_7f4a_7c15) & ((1 << 48) - 1),
+            },
+            1 => FrMsg::EchoDeep(i % 2 == 0),
+            2 => FrMsg::Activate,
+            3 => FrMsg::FragId(i << 17),
+            4 => FrMsg::MwoeUp((i % 3 == 0).then_some(i | 1 << 40)),
+            5 => FrMsg::Transfer,
+            _ => FrMsg::Connect(!i & ((1 << 48) - 1)),
+        })
+        .collect();
+
+    // raw writer/reader throughput: push+pull 4096 mixed-width fields
+    g.bench_function("bitio_mixed_4096", |b| {
+        use kdom_congest::{BitReader, BitWriter};
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            for i in 0..4096u64 {
+                w.push(i & ((1 << (1 + i % 48)) - 1), 1 + (i % 48) as u32);
+            }
+            let frame = w.finish();
+            let mut r = BitReader::new(&frame);
+            let mut acc = 0u64;
+            for i in 0..4096u64 {
+                acc ^= r.pull(1 + (i % 48) as u32).expect("pull in bounds");
+            }
+            acc
+        })
+    });
+
+    // the engine's per-send hot path: encode+decode through reused
+    // scratch buffers, bit count taken from the same encode
+    let mut scratch = CodecScratch::new();
+    g.bench_function("frmsg_transcode_scratch_256", |b| {
+        b.iter(|| {
+            let mut bits = 0u64;
+            for m in &msgs {
+                bits += scratch.transcode(m).map_or(0, |(_, b)| b);
+            }
+            bits
+        })
+    });
+
+    // full verification (adds the canonicality re-encode + compare) in
+    // the same reused buffers — the fallback-replay and test path
+    g.bench_function("frmsg_round_trip_scratch_256", |b| {
+        b.iter(|| {
+            let mut ok = 0usize;
+            for m in &msgs {
+                ok += scratch.round_trip(m).is_ok() as usize;
+            }
+            ok
+        })
+    });
+
+    // the old allocating path (two fresh Vecs + Debug formatting per
+    // message), kept as the comparison row
+    g.bench_function("frmsg_round_trip_alloc_256", |b| {
+        b.iter(|| {
+            let mut ok = 0usize;
+            for m in &msgs {
+                ok += kdom_congest::wire::round_trip(m).is_ok() as usize;
+            }
+            ok
+        })
+    });
+    g.finish();
+}
+
+/// Million-node rows: the full Fast-MST composition (`k = ⌈√n⌉ = 1000`)
+/// on a streamed `G(n, m)` graph with 10^6 nodes and 2×10^6 edges, once
+/// zero-copy (`KDOM_WIRE=off`) and once wire-exact (the default). Each
+/// is timed as a single iteration — the run is far past the harness
+/// batch budget — and the reported engine peak memory lands in the JSON
+/// as an extra, where the trace validator and the CI budget assert can
+/// see it. Skipped in smoke runs (`KDOM_BENCH_MS=0`): CI covers this
+/// scale with the dedicated `large-graph` job at 10^5 nodes instead.
 fn bench_fast_mst_rand1m(_c: &mut Criterion) {
     let smoke = std::env::var("KDOM_BENCH_MS").is_ok_and(|v| v == "0");
     if smoke {
         eprintln!("kdom-bench: skipping fast_mst_rand1M in smoke mode (KDOM_BENCH_MS=0)");
     } else {
-        let name = "engine/fast_mst_rand1M/active-set-1t";
         let graph = kdom_graph::generators::gnm_connected(
             &kdom_graph::generators::GenConfig::with_seed(1_000_000, 42),
             2_000_000,
         );
-        let start = std::time::Instant::now();
-        let run = fast_mst(std::hint::black_box(&graph));
-        let wall = start.elapsed().as_secs_f64();
         eprintln!("group engine/fast_mst_rand1M");
-        eprintln!(
-            "  active-set-1t: {:.2}s, peak {} MiB",
-            wall,
-            run.pipeline_report.peak_memory_bytes >> 20
-        );
-        assert_eq!(run.mst_edges.len(), graph.node_count() - 1);
-        assert!(
-            run.pipeline_report.peak_memory_bytes > 0,
-            "pipeline must report peak memory"
-        );
-        record_measurement(name, wall);
-        note_rounds(name, run.total_rounds());
-        note_extra(
-            name,
-            "peak_mem_bytes",
-            run.pipeline_report.peak_memory_bytes,
-        );
-        note_extra(name, "graph_mem_bytes", graph.memory_bytes());
+        for (leg, wire, mode) in [
+            ("active-set-1t", Some("off"), "zero-copy"),
+            ("active-set-1t-wire-exact", None, "wire-exact"),
+        ] {
+            match wire {
+                Some(v) => std::env::set_var("KDOM_WIRE", v),
+                None => std::env::remove_var("KDOM_WIRE"),
+            }
+            let name = format!("engine/fast_mst_rand1M/{leg}");
+            let start = std::time::Instant::now();
+            let run = fast_mst(std::hint::black_box(&graph));
+            let wall = start.elapsed().as_secs_f64();
+            eprintln!(
+                "  {leg}: {:.2}s, peak {} MiB",
+                wall,
+                run.pipeline_report.peak_memory_bytes >> 20
+            );
+            assert_eq!(run.mst_edges.len(), graph.node_count() - 1);
+            assert!(
+                run.pipeline_report.peak_memory_bytes > 0,
+                "pipeline must report peak memory"
+            );
+            record_measurement(&name, wall);
+            note_rounds(&name, run.total_rounds());
+            note_mode(&name, mode);
+            note_extra(
+                &name,
+                "peak_mem_bytes",
+                run.pipeline_report.peak_memory_bytes,
+            );
+            note_extra(&name, "graph_mem_bytes", graph.memory_bytes());
+        }
+        std::env::remove_var("KDOM_WIRE");
     }
     // gate against the committed baseline before replacing it
     check_regression_gate();
@@ -272,6 +395,7 @@ criterion_group!(
     bench_simple_mst,
     profile_round_walltime,
     bench_fast_mst,
+    bench_wire_codec,
     bench_fast_mst_rand1m
 );
 criterion_main!(benches);

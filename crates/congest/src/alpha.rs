@@ -47,27 +47,28 @@
 //! The synchronous engine skips provably-empty rounds explicitly
 //! ([`crate::engine`]); this executor needs no analogue, because its
 //! event queue *is* a "next event time" min-tracker. Execution is a
-//! single `BinaryHeap` of `(virtual_time, seq, event)` covering payload
-//! deliveries, ARQ retransmission timers, and (via the reliable layer's
-//! delay queues) every fault-injected extra delay. Popping the heap jumps
-//! the virtual clock directly to the next event — silent stretches of
-//! virtual time cost nothing by construction, and there is no per-pulse
-//! scan to skip. The counters in [`AlphaReport`] are keyed to events, not
-//! wall ticks, so they are trivially identical to the "unskipped"
-//! execution (no such execution exists to diverge from).
+//! single FIFO-stable [`EventQueue`](crate::events::EventQueue) — the
+//! shared event core also backing the engine's timer heap — covering
+//! payload deliveries, ARQ retransmission timers, and (via the reliable
+//! layer's delay queues) every fault-injected extra delay. Popping the
+//! queue jumps the virtual clock directly to the next event — silent
+//! stretches of virtual time cost nothing by construction, and there is
+//! no per-pulse scan to skip. The counters in [`AlphaReport`] are keyed
+//! to events, not wall ticks, so they are trivially identical to the
+//! "unskipped" execution (no such execution exists to diverge from).
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 
 use kdom_graph::graph::{Graph, NodeId};
 use kdom_rng::StdRng;
 
 use crate::engine::{self, reverse_port_table};
+use crate::events::EventQueue;
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::reliable::{LinkState, ReliableConfig, RetxDecision};
 use crate::sim::{Message, Port, Protocol, SimError, StallReport};
 use crate::trace::{TraceEvent, TraceSink};
-use crate::wire::{BitReader, BitWriter, Wire, WireError, WireFrame};
+use crate::wire::{BitReader, BitWriter, CodecScratch, Wire, WireError, WireFrame};
 
 /// Statistics of an asynchronous (synchronizer-α) execution.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -290,8 +291,8 @@ struct NodeState<P: Protocol> {
 pub struct AlphaSimulator<'g, P: Protocol> {
     graph: &'g Graph,
     nodes: Vec<NodeState<P>>,
-    queue: BinaryHeap<Reverse<(u64, u64, EventBox<P>)>>,
-    seq: u64,
+    /// Time-ordered, FIFO-stable event queue from the shared event core.
+    queue: EventQueue<Event<P::Msg>>,
     rng: StdRng,
     max_delay: u64,
     report: AlphaReport,
@@ -316,36 +317,17 @@ pub struct AlphaSimulator<'g, P: Protocol> {
     last_activity: u64,
     /// Pooled outbox slab handed to the shared round executor.
     outbox_pool: Vec<Option<P::Msg>>,
-    /// Wire-exact execution (`KDOM_WIRE=exact` or
-    /// [`AlphaSimulator::wire_exact`]): frames are encoded at send and
-    /// decoded at delivery (see [`Packet`]).
+    /// Wire-exact execution (the default; `KDOM_WIRE=off` or
+    /// [`AlphaSimulator::wire_exact`] disables it): frames are encoded
+    /// at send and decoded at delivery (see [`Packet`]).
     exact: bool,
+    /// Reused codec buffers for the wire-exact delivery check.
+    codec: CodecScratch,
     /// First CONGEST violation observed; surfaced by [`Self::run`].
     violation: Option<SimError>,
     /// Evidence stream (`KDOM_TRACE` / [`AlphaSimulator::set_trace`]);
     /// `None` keeps every emission site a never-taken branch.
     trace: Option<Box<dyn TraceSink>>,
-}
-
-// BinaryHeap needs Ord; box the event behind a sequence number and keep
-// comparison on (time, seq) only.
-struct EventBox<P: Protocol>(Event<P::Msg>);
-
-impl<P: Protocol> PartialEq for EventBox<P> {
-    fn eq(&self, _: &Self) -> bool {
-        true
-    }
-}
-impl<P: Protocol> Eq for EventBox<P> {}
-impl<P: Protocol> PartialOrd for EventBox<P> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<P: Protocol> Ord for EventBox<P> {
-    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
-        std::cmp::Ordering::Equal
-    }
 }
 
 impl<'g, P: Protocol> AlphaSimulator<'g, P> {
@@ -388,8 +370,7 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
         AlphaSimulator {
             graph,
             nodes,
-            queue: BinaryHeap::new(),
-            seq: 0,
+            queue: EventQueue::new(),
             rng: StdRng::seed_from_u64(seed),
             max_delay,
             report: AlphaReport::default(),
@@ -405,21 +386,22 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
             unacked_payloads: 0,
             last_activity: 0,
             outbox_pool: Vec::new(),
-            exact: matches!(
+            exact: !matches!(
                 std::env::var("KDOM_WIRE").as_deref(),
-                Ok("exact") | Ok("1") | Ok("on")
+                Ok("off") | Ok("0") | Ok("false") | Ok("no") | Ok("zero-copy")
             ),
+            codec: CodecScratch::new(),
             violation: None,
             trace: crate::trace::from_env(),
         }
     }
 
     /// Enables (or disables) wire-exact execution explicitly, overriding
-    /// the environment default (`KDOM_WIRE=exact`): every frame is
-    /// encoded to its bit representation at send and decoded back at
-    /// delivery, with a round-trip mismatch surfacing as
+    /// the environment default (**on** unless `KDOM_WIRE=off`): every
+    /// frame is encoded to its bit representation at send and decoded
+    /// back at delivery, with a round-trip mismatch surfacing as
     /// [`SimError::WireMismatch`]. Reports are byte-identical to the
-    /// default in-memory path.
+    /// zero-copy in-memory path.
     pub fn wire_exact(mut self, on: bool) -> Self {
         self.exact = on;
         self
@@ -468,8 +450,7 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
                 self.inflight_payloads += 1;
             }
         }
-        self.seq += 1;
-        self.queue.push(Reverse((at, self.seq, EventBox(ev))));
+        self.queue.push(at, ev);
     }
 
     /// Commits `frame` to its link representation: the encoded bit frame
@@ -894,7 +875,7 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
         }
         while !self.all_quiet() {
             self.take_violation()?;
-            let Some(Reverse((time, _, ev))) = self.queue.pop() else {
+            let Some((time, ev)) = self.queue.pop() else {
                 self.sync_fault_counters();
                 return Err(SimError::Stalled {
                     stall: self.stall_report(),
@@ -908,7 +889,7 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
                 });
             }
             self.report.virtual_time = self.report.virtual_time.max(time);
-            match ev.0 {
+            match ev {
                 Event::Deliver { to, port, pkt } => {
                     let is_payload = pkt.carries_payload();
                     if is_payload {
@@ -929,30 +910,20 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
                     let link_bits = pkt.bits();
                     let frame = match pkt {
                         Packet::Typed(frame) => frame,
-                        Packet::Bits { frame: wf, .. } => match Frame::<P::Msg>::from_frame(&wf) {
-                            Ok(decoded) if decoded.to_frame() == wf => decoded,
-                            Ok(decoded) => {
-                                self.violation.get_or_insert(SimError::WireMismatch {
-                                    node: NodeId(to),
-                                    port,
-                                    round: time,
-                                    detail: format!(
-                                        "re-encoding decoded frame {decoded:?} does not \
-                                             reproduce the received bits"
-                                    ),
-                                });
-                                continue;
+                        Packet::Bits { frame: wf, .. } => {
+                            match self.codec.check_frame::<Frame<P::Msg>>(&wf) {
+                                Ok(decoded) => decoded,
+                                Err(detail) => {
+                                    self.violation.get_or_insert(SimError::WireMismatch {
+                                        node: NodeId(to),
+                                        port,
+                                        round: time,
+                                        detail,
+                                    });
+                                    continue;
+                                }
                             }
-                            Err(e) => {
-                                self.violation.get_or_insert(SimError::WireMismatch {
-                                    node: NodeId(to),
-                                    port,
-                                    round: time,
-                                    detail: e.to_string(),
-                                });
-                                continue;
-                            }
-                        },
+                        }
                     };
                     if is_payload {
                         self.report.payload_bits += link_bits;

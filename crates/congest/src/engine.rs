@@ -18,7 +18,8 @@
 //!    for contract-abiding protocols.
 //!
 //! 2. **Quiescence fast-forward.** The engine tracks in-flight message
-//!    copies, ticking nodes, timer wakes (a lazily-invalidated min-heap),
+//!    copies, ticking nodes, timer wakes (a lazily-invalidated
+//!    [`TimerHeap`] from the shared [`events`](crate::events) core),
 //!    and the fault plan's crash schedule. When no message is queued and
 //!    no node ticks, every round up to the next timer/crash event is
 //!    provably empty — [`RoundEngine::fast_forward`] advances the round
@@ -55,35 +56,41 @@
 //!    through a single sequential merge on the caller's thread, which is
 //!    why `active-set-4t` used to *lose* to 1t: the merge serialised the
 //!    per-message work that dominates dense rounds.) When a fault
-//!    injector, a trace sink, or wire-exact mode needs globally ordered
-//!    per-message effects — the RNG stream, `send` events — the engine
-//!    falls back to that sequential merge, which replays staged sends in
-//!    ascending node order, the exact order the single-threaded loop
-//!    produces, so traced and fault-injected runs remain byte-identical
-//!    across thread counts too. After an error
-//!    ([`SimError::CongestViolation`] / [`SimError::BrokenTopology`]) the
-//!    reported counters still match the sequential run (the bucketed path
-//!    detects both conditions during compute and re-sorts the buckets to
-//!    replay the sequential cut-off exactly), but node automata beyond
-//!    the failing node are in an unspecified state (they may have
-//!    executed the failing round); errors abort the run, so no caller
-//!    observes that state through the public API.
+//!    injector or a trace sink needs globally ordered per-message
+//!    effects — the RNG stream, `send` events — the engine falls back to
+//!    that sequential merge, which replays staged sends in ascending
+//!    node order, the exact order the single-threaded loop produces, so
+//!    traced and fault-injected runs remain byte-identical across thread
+//!    counts too. Wire-exact mode (the default) rides the bucketed merge:
+//!    each worker round-trips its own staged frames through a reused
+//!    [`CodecScratch`](crate::wire::CodecScratch) at staging time —
+//!    verification is per-message-local, so it needs no global order —
+//!    and stages the *decoded* message. After an error
+//!    ([`SimError::CongestViolation`] / [`SimError::BrokenTopology`] /
+//!    [`SimError::WireMismatch`]) the reported counters still match the
+//!    sequential run (the bucketed path detects all three conditions
+//!    during compute and re-sorts the buckets to replay the sequential
+//!    cut-off exactly), but node automata beyond the failing node are in
+//!    an unspecified state (they may have executed the failing round);
+//!    errors abort the run, so no caller observes that state through the
+//!    public API.
 //!
 //! Configuration comes from [`EngineConfig`], which the convenience
 //! runners fill from the environment: `KDOM_THREADS`, `KDOM_SCHED`,
 //! `KDOM_FASTFWD`, `KDOM_DENSE_PCT`, and `KDOM_SHARD_MIN`.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 use kdom_graph::graph::{Graph, NodeId};
 
+use crate::events::TimerHeap;
 use crate::faults::{apply_churn, ChurnError, ChurnRemap, FaultInjector, FaultPlan};
 use crate::report::RunReport;
 use crate::sim::{Message, NodeCtx, Outbox, Port, Protocol, SimError, StallReport, Wake};
 use crate::trace::{TraceEvent, TraceSink};
+use crate::wire::CodecScratch;
 
 /// Execution knobs of the round engine: worker threads, scheduling,
 /// fast-forward, and the adaptive thresholds.
@@ -114,12 +121,20 @@ pub struct EngineConfig {
     /// Release builds ignore it.
     pub bit_budget: Option<u64>,
     /// Wire-exact execution: encode every message to its bit frame at
-    /// send and deliver the *decoded* frame, verifying the round trip
-    /// (mismatch aborts with [`SimError::WireMismatch`]). Proves the
-    /// automata depend only on what is actually on the wire; reports are
-    /// byte-identical to the default zero-copy path. Off by default;
-    /// `KDOM_WIRE=exact` enables it.
+    /// send and deliver the *decoded* frame (a decode failure — or, in
+    /// debug builds and the sequential merge, any round-trip mismatch —
+    /// aborts with [`SimError::WireMismatch`]). Proves the automata
+    /// depend only on what is actually on the wire; reports are
+    /// byte-identical to the zero-copy path. **On by default** since the
+    /// branchless codec made it nearly free; `KDOM_WIRE=off` restores
+    /// the zero-copy path.
     pub wire_exact: bool,
+    /// Accumulate wall-clock spent in the wire codec (wire-exact mode's
+    /// per-send encode+decode transcodes), readable via
+    /// [`RoundEngine::codec_stats`]. Off by default — the hot path then
+    /// carries no timer calls. Never part of [`RunReport`], so reports
+    /// stay byte-identical whether or not profiling ran.
+    pub codec_profile: bool,
 }
 
 impl Default for EngineConfig {
@@ -131,7 +146,8 @@ impl Default for EngineConfig {
             dense_pct: 75,
             shard_min: 1024,
             bit_budget: None,
-            wire_exact: false,
+            wire_exact: true,
+            codec_profile: false,
         }
     }
 }
@@ -145,7 +161,9 @@ impl EngineConfig {
     /// - `KDOM_FASTFWD`: `0`/`off`/`false`/`no` disables fast-forward;
     /// - `KDOM_DENSE_PCT`: dense-scan fallback threshold (percent);
     /// - `KDOM_SHARD_MIN`: minimum active nodes per worker shard;
-    /// - `KDOM_WIRE`: `exact` (or `1`/`on`) enables wire-exact execution.
+    /// - `KDOM_WIRE`: `off` (or `0`/`false`/`no`/`zero-copy`) disables
+    ///   wire-exact execution; anything else, including unset, keeps the
+    ///   wire-exact default.
     pub fn from_env() -> Self {
         let defaults = EngineConfig::default();
         let threads = std::env::var("KDOM_THREADS")
@@ -170,9 +188,9 @@ impl EngineConfig {
             .and_then(|v| v.parse::<usize>().ok())
             .map(|m| m.max(1))
             .unwrap_or(defaults.shard_min);
-        let wire_exact = matches!(
+        let wire_exact = !matches!(
             std::env::var("KDOM_WIRE").as_deref(),
-            Ok("exact") | Ok("1") | Ok("on")
+            Ok("off") | Ok("0") | Ok("false") | Ok("no") | Ok("zero-copy")
         );
         EngineConfig {
             threads,
@@ -182,6 +200,7 @@ impl EngineConfig {
             shard_min,
             bit_budget: None,
             wire_exact,
+            codec_profile: false,
         }
     }
 
@@ -224,6 +243,12 @@ impl EngineConfig {
     /// Returns the config with wire-exact execution enabled or not.
     pub fn with_wire_exact(mut self, on: bool) -> Self {
         self.wire_exact = on;
+        self
+    }
+
+    /// Returns the config with codec wall-clock profiling enabled or not.
+    pub fn with_codec_profile(mut self, on: bool) -> Self {
+        self.codec_profile = on;
         self
     }
 }
@@ -304,10 +329,6 @@ pub(crate) fn fan_out<T: Clone, E>(tags: Vec<E>, item: T, mut deliver: impl FnMu
 /// number of identical copies the fault injector delivered — duplicates
 /// are refcounted here, not deep-cloned.
 type Slot<M> = Option<(M, u32)>;
-
-/// Sentinel for `wake_at`: the node has no timer (done, message-driven,
-/// or crashed).
-const NEVER: u64 = u64::MAX;
 
 /// Width of the packed `size_bits` field in a staged-send metadata word.
 /// The maximum value doubles as a "recompute at merge" sentinel for the
@@ -401,6 +422,18 @@ struct WorkerScratch<M> {
     /// node order (checked during compute so delivery can't index with
     /// a missing reverse port).
     broken: Option<(u32, Port)>,
+    /// Reused wire-codec buffers for wire-exact round trips; staging
+    /// allocates nothing per frame.
+    codec: CodecScratch,
+    /// Bucketed wire-exact: a round trip failed in this shard. The
+    /// sequential fallback replays every frame in global order so the
+    /// mismatch surfaces at its exact sequential position.
+    wire_bad: bool,
+    /// Nanoseconds this shard spent in codec round trips (only
+    /// accumulated under [`EngineConfig::codec_profile`]).
+    codec_ns: u64,
+    /// Round trips this shard performed (only under profiling).
+    codec_msgs: u64,
 }
 
 impl<M> Default for WorkerScratch<M> {
@@ -421,6 +454,10 @@ impl<M> Default for WorkerScratch<M> {
             max_bits: 0,
             delivered: 0,
             broken: None,
+            codec: CodecScratch::new(),
+            wire_bad: false,
+            codec_ns: 0,
+            codec_msgs: 0,
         }
     }
 }
@@ -440,6 +477,17 @@ impl<M> Default for WorkerScratch<M> {
 /// destination shards' node-range boundaries, `len = shards + 1` —
 /// contains the receiving node; reverse-port asymmetry is detected here
 /// (recorded in `scratch.broken`) so the parallel delivery never has to.
+/// With `wire_exact` additionally true, each staged frame is
+/// transcoded through the shard's [`CodecScratch`] *here* — the check
+/// is per-message-local, so the bucketed merge keeps its order-freedom
+/// — and the **decoded** message is what gets staged, with the bit
+/// count taken from the same encode; a decode failure sets
+/// `scratch.wire_bad`, stages the original, and the sequential
+/// fallback (or [`RoundEngine::merge_staged`]'s full replay) re-derives
+/// the error in global replay order. The caller passes `wire_exact`
+/// as false when a fault injector or trace sink is attached: those
+/// runs take the sequential merge, which performs the round trip
+/// itself in exact replay order.
 #[allow(clippy::too_many_arguments)]
 fn run_shard<P: Protocol>(
     graph: &Graph,
@@ -449,6 +497,8 @@ fn run_shard<P: Protocol>(
     injector: Option<&FaultInjector>,
     round: u64,
     bit_budget: Option<u64>,
+    wire_exact: bool,
+    codec_profile: bool,
     track_wakes: bool,
     done_flag: &[bool],
     active: &[u32],
@@ -469,6 +519,7 @@ fn run_shard<P: Protocol>(
     scratch.sent_bits = 0;
     scratch.max_bits = 0;
     scratch.broken = None;
+    scratch.wire_bad = false;
     if bucketed {
         let shards = dest_bounds.len() - 1;
         if scratch.buckets.len() < shards {
@@ -526,7 +577,33 @@ fn run_shard<P: Protocol>(
         let arcs = graph.neighbors(NodeId(v));
         for (p, slot) in scratch.outbox.iter_mut().enumerate() {
             if let Some(msg) = slot.take() {
-                let bits = msg.size_bits();
+                // Wire-exact: what gets staged is the *decoded* frame,
+                // so delivery hands the automaton exactly the bits that
+                // were on the wire. The encode that produces those bits
+                // doubles as the accounting pass — no separate
+                // `size_bits` walk on this path.
+                let (msg, bits) = if wire_exact {
+                    let t0 = codec_profile.then(Instant::now);
+                    let tripped = scratch.codec.transcode(&msg);
+                    if let Some(t0) = t0 {
+                        scratch.codec_ns += t0.elapsed().as_nanos() as u64;
+                        scratch.codec_msgs += 1;
+                    }
+                    match tripped {
+                        Ok(pair) => pair,
+                        Err(_) => {
+                            // stage the original: the sequential
+                            // fallback replays every frame in global
+                            // order and re-derives the error there
+                            scratch.wire_bad = true;
+                            let bits = msg.size_bits();
+                            (msg, bits)
+                        }
+                    }
+                } else {
+                    let bits = msg.size_bits();
+                    (msg, bits)
+                };
                 #[cfg(debug_assertions)]
                 if let Some(budget) = bit_budget {
                     assert!(
@@ -607,12 +684,10 @@ pub(crate) struct RoundEngine<'g, P: Protocol> {
     receivers: Vec<u32>,
     /// Not-done nodes that asked to tick next round, sorted.
     ticking: Vec<u32>,
-    /// Authoritative per-node timer: the round the node asked to wake at,
-    /// or [`NEVER`]. Heap entries disagreeing with this are stale.
-    wake_at: Vec<u64>,
-    /// Timer-armed nodes as `(wake, node)`, lazily invalidated: an entry
-    /// counts only while `wake_at[node] == wake`.
-    parked: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Per-node one-shot timers: the authoritative `wake_at` table plus
+    /// the lazily-invalidated parked heap, both owned by the shared
+    /// event core (see [`crate::events`]).
+    timers: TimerHeap,
     /// Scratch: valid timers due this round.
     due: Vec<u32>,
     /// Scratch for the three-way active-list merge.
@@ -661,6 +736,15 @@ pub(crate) struct RoundEngine<'g, P: Protocol> {
     /// Persistent cross-worker channels for the bucketed merge, created
     /// on the first multi-shard round.
     exchange: Option<Exchange<P::Msg>>,
+    /// Reused wire-codec buffers for the sequential merge's wire-exact
+    /// round trips (workers carry their own in [`WorkerScratch`]).
+    codec: CodecScratch,
+    /// Codec nanoseconds spent in the sequential merge (profiling only;
+    /// worker shards accumulate theirs in scratch).
+    codec_ns: u64,
+    /// Codec round trips performed in the sequential merge (profiling
+    /// only).
+    codec_msgs: u64,
 }
 
 impl<'g, P: Protocol> RoundEngine<'g, P> {
@@ -742,8 +826,7 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             recv_mark: vec![0; n],
             receivers: Vec::new(),
             ticking: Vec::new(),
-            wake_at: vec![NEVER; n],
-            parked: BinaryHeap::new(),
+            timers: TimerHeap::new(n),
             due: Vec::new(),
             merged: Vec::new(),
             active: Vec::new(),
@@ -768,6 +851,9 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             round_staged: 0,
             dest_bounds: Vec::new(),
             exchange: None,
+            codec: CodecScratch::new(),
+            codec_ns: 0,
+            codec_msgs: 0,
         };
         engine.advance_crash_epoch();
         engine.attach_trace(crate::trace::from_env());
@@ -805,6 +891,20 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
         (self.ff_jumps, self.ff_skipped)
     }
 
+    /// `(nanoseconds, round_trips)` spent in the wire codec so far,
+    /// summed over the sequential merge and every worker shard. All
+    /// zeros unless [`EngineConfig::codec_profile`] is set (and then
+    /// only wire-exact runs pay codec time).
+    pub fn codec_stats(&self) -> (u64, u64) {
+        let mut ns = self.codec_ns;
+        let mut msgs = self.codec_msgs;
+        for s in &self.scratch {
+            ns += s.codec_ns;
+            msgs += s.codec_msgs;
+        }
+        (ns, msgs)
+    }
+
     pub fn nodes(&self) -> &[P] {
         &self.nodes
     }
@@ -838,11 +938,10 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
                 break;
             }
             self.crash_cursor += 1;
-            let v = v as usize;
-            if !self.done_flag[v] {
+            if !self.done_flag[v as usize] {
                 self.live_undone -= 1;
             }
-            self.wake_at[v] = NEVER;
+            self.timers.cancel(v);
         }
     }
 
@@ -866,16 +965,11 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             return;
         }
         let mut target = limit;
-        while let Some(&Reverse((wake, v))) = self.parked.peek() {
-            if self.wake_at[v as usize] != wake {
-                self.parked.pop(); // stale entry
-                continue;
-            }
+        if let Some(wake) = self.timers.next_valid() {
             if wake <= self.round {
                 return; // a timer is due: the next step is a real one
             }
             target = target.min(wake);
-            break;
         }
         if let Some(&(at, _)) = self.crash_events.get(self.crash_cursor) {
             target = target.min(at);
@@ -1015,18 +1109,11 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
         std::mem::swap(&mut self.inbox, &mut self.pending);
         self.pending_count = 0;
 
-        // pop timers due this round; stale entries (superseded wakes)
-        // are discarded here, valid ones join the active list
-        self.due.clear();
-        while let Some(&Reverse((wake, v))) = self.parked.peek() {
-            if wake > self.round {
-                break;
-            }
-            self.parked.pop();
-            if self.wake_at[v as usize] == wake {
-                self.due.push(v);
-            }
-        }
+        // pop timers due this round: the event core discards stale
+        // entries (superseded wakes) and returns the valid ones sorted
+        // and deduplicated — see `TimerHeap::pop_due` for why the dedup
+        // is load-bearing (the PR 3 double-step class)
+        self.timers.pop_due(self.round, &mut self.due);
 
         self.active.clear();
         let estimate = self.ticking.len() + self.due.len() + self.receivers.len();
@@ -1038,15 +1125,6 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             // 0..n scan beats merging near-full sorted lists
             self.active.extend(0..n as u32);
         } else {
-            self.due.sort_unstable();
-            // the heap can briefly hold two *valid* entries for the same
-            // (round, node): an entry goes stale when a message-woken node
-            // changes its promise, and a later re-park at the original
-            // round both re-validates it and pushes a fresh copy. Both pop
-            // into `due`; merge_sorted_dedup only dedups across its two
-            // inputs, so dedup within the list here or the node is stepped
-            // twice in one round.
-            self.due.dedup();
             self.receivers.sort_unstable();
             self.merged.clear();
             merge_sorted_dedup(&self.ticking, &self.due, &mut self.merged);
@@ -1081,6 +1159,8 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
                 self.injector.as_ref(),
                 self.round,
                 self.config.bit_budget,
+                self.config.wire_exact && self.injector.is_none() && self.trace.is_none(),
+                self.config.codec_profile,
                 track_wakes,
                 &self.done_flag,
                 &self.active,
@@ -1095,11 +1175,12 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             round_msgs = self.merge_staged(1)?;
         } else {
             // The destination-sharded merge needs per-message effects to
-            // be order-free; a fault injector (RNG stream), a trace sink
-            // (send events), and wire-exact verification all demand the
-            // sequential replay order, so they take the sequential merge.
-            let bucketed =
-                self.injector.is_none() && self.trace.is_none() && !self.config.wire_exact;
+            // be order-free; a fault injector (RNG stream) and a trace
+            // sink (send events) demand the sequential replay order, so
+            // they take the sequential merge. Wire-exact verification is
+            // per-message-local and rides the bucketed path: workers
+            // round-trip their own frames at staging time.
+            let bucketed = self.injector.is_none() && self.trace.is_none();
             self.dest_bounds.clear();
             if bucketed {
                 // Worker s owns delivery for nodes [bounds[s], bounds[s+1]):
@@ -1122,6 +1203,10 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             let round = self.round;
             let epoch = round + 1;
             let bit_budget = self.config.bit_budget;
+            // staging-time transcode needs no injector/trace attached —
+            // exactly the bucketed-eligibility condition
+            let wire_exact = self.config.wire_exact && bucketed;
+            let codec_profile = self.config.codec_profile;
             let done_flag = &self.done_flag;
             let active = &self.active;
             let dest_bounds = &self.dest_bounds;
@@ -1184,6 +1269,8 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
                             injector,
                             round,
                             bit_budget,
+                            wire_exact,
+                            codec_profile,
                             track_wakes,
                             done_flag,
                             chunk,
@@ -1198,10 +1285,14 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
                         if !bucketed {
                             return;
                         }
-                        // A violation or asymmetry poisons the parallel
-                        // delivery; flag it *before* sending so every
-                        // worker's post-exchange check observes it.
-                        if scratch.violation.is_some() || scratch.broken.is_some() {
+                        // A violation, asymmetry, or wire mismatch
+                        // poisons the parallel delivery; flag it
+                        // *before* sending so every worker's
+                        // post-exchange check observes it.
+                        if scratch.violation.is_some()
+                            || scratch.broken.is_some()
+                            || scratch.wire_bad
+                        {
                             fallback_ref.store(true, Ordering::Relaxed);
                         }
                         let txs = txs.expect("bucketed workers have senders");
@@ -1325,8 +1416,7 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
         let RoundEngine {
             scratch,
             ticking,
-            wake_at,
-            parked,
+            timers,
             done_flag,
             live_undone,
             ..
@@ -1336,13 +1426,13 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             for (v32, outcome) in s.sched.drain(..) {
                 let v = v32 as usize;
                 match outcome {
-                    NodeOutcome::Crashed => wake_at[v] = NEVER,
+                    NodeOutcome::Crashed => timers.cancel(v32),
                     NodeOutcome::Done => {
                         if !done_flag[v] {
                             done_flag[v] = true;
                             *live_undone -= 1;
                         }
-                        wake_at[v] = NEVER;
+                        timers.cancel(v32);
                     }
                     NodeOutcome::Tick | NodeOutcome::Sleep | NodeOutcome::Park(_) => {
                         if done_flag[v] {
@@ -1352,19 +1442,16 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
                         }
                         match outcome {
                             NodeOutcome::Tick => {
-                                wake_at[v] = next;
+                                // the ticking list schedules the node;
+                                // `note` only invalidates parked entries
+                                timers.note(v32, next);
                                 ticking.push(v32);
                             }
-                            NodeOutcome::Sleep => wake_at[v] = NEVER,
-                            NodeOutcome::Park(r) => {
-                                // skip the push when the heap already
-                                // holds this exact wake — re-parking at
-                                // an unchanged timer is free
-                                if wake_at[v] != r {
-                                    wake_at[v] = r;
-                                    parked.push(Reverse((r, v32)));
-                                }
-                            }
+                            NodeOutcome::Sleep => timers.cancel(v32),
+                            // `park` skips the push when the heap
+                            // already holds this exact wake —
+                            // re-parking an unchanged timer is free
+                            NodeOutcome::Park(r) => timers.park(v32, r),
                             _ => unreachable!(),
                         }
                     }
@@ -1388,7 +1475,16 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             .filter_map(|s| s.violation)
             .min_by_key(|&(v, _)| v);
         let cut_node = cut.map_or(u32::MAX, |(v, _)| v);
-        let wire_exact = self.config.wire_exact;
+        // With no injector/trace attached, `run_shard` already transcoded
+        // every staged message (the decoded frame is what sits in the
+        // slab), so the merge only replays the round trip when staging
+        // could not (sequential-order runs) or when a staging transcode
+        // failed and the error must be re-derived at its exact replay
+        // position.
+        let pretranscoded = self.injector.is_none() && self.trace.is_none();
+        let any_bad = self.scratch[..shards].iter().any(|s| s.wire_bad);
+        let wire_exact = self.config.wire_exact && (!pretranscoded || any_bad);
+        let codec_profile = self.config.codec_profile;
         let mut round_msgs = 0u64;
         let RoundEngine {
             graph,
@@ -1404,6 +1500,9 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
             crash_lost,
             trace,
             round_staged,
+            codec,
+            codec_ns,
+            codec_msgs,
             ..
         } = self;
         let epoch = round + 1;
@@ -1454,9 +1553,17 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
                 debug_assert_eq!(bits, msg.size_bits(), "packed word out of sync");
                 // Wire-exact: what continues from here is the *decoded*
                 // frame, so the receiving automaton provably depends only
-                // on the bits that were on the wire.
+                // on the bits that were on the wire. The round trip runs
+                // in the engine's reused scratch buffers — no per-frame
+                // allocation.
                 let msg = if wire_exact {
-                    match crate::wire::round_trip(&msg) {
+                    let t0 = codec_profile.then(Instant::now);
+                    let tripped = codec.round_trip(&msg);
+                    if let Some(t0) = t0 {
+                        *codec_ns += t0.elapsed().as_nanos() as u64;
+                        *codec_msgs += 1;
+                    }
+                    match tripped {
                         Ok(decoded) => decoded,
                         Err(detail) => {
                             return Err(SimError::WireMismatch {
@@ -1520,14 +1627,19 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
     }
 
     /// Sequential replay of a bucketed round on which a shard flagged a
-    /// CONGEST violation or an asymmetric topology. The workers left all
-    /// exchanged batches in their `incoming` slots and the pending arena
-    /// untouched; sorting the packed metadata words restores the exact
-    /// ascending `(sender, port)` order of the sequential merge (the
-    /// words are unique per edge direction), so the partial accounting
-    /// and delivery state at the abort match a single-threaded run
-    /// byte for byte. Always returns the error — this path only runs
-    /// when one exists.
+    /// CONGEST violation, an asymmetric topology, or a wire mismatch.
+    /// The workers left all exchanged batches in their `incoming` slots
+    /// and the pending arena untouched; sorting the packed metadata
+    /// words restores the exact ascending `(sender, port)` order of the
+    /// sequential merge (the words are unique per edge direction), so
+    /// the partial accounting and delivery state at the abort match a
+    /// single-threaded run byte for byte. In wire-exact mode every frame
+    /// is round-tripped again in that order — idempotent for the frames
+    /// that already passed at staging time, and re-deriving the mismatch
+    /// at its exact sequential position for the one that failed (a wire
+    /// error at a lower node beats a violation cut at a higher one,
+    /// matching [`RoundEngine::merge_staged`]'s mid-loop return). Always
+    /// returns the error — this path only runs when one exists.
     fn merge_bucketed_fallback(&mut self, shards: usize) -> SimError {
         let round = self.round;
         let cut = self.scratch[..shards]
@@ -1565,6 +1677,21 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
                 field
             };
             debug_assert_eq!(bits, msg.size_bits(), "packed word out of sync");
+            let msg = if self.config.wire_exact {
+                match self.codec.round_trip(&msg) {
+                    Ok(decoded) => decoded,
+                    Err(detail) => {
+                        return SimError::WireMismatch {
+                            node: NodeId(v),
+                            port: Port(p),
+                            round,
+                            detail,
+                        };
+                    }
+                }
+            } else {
+                msg
+            };
             self.report.messages += 1;
             self.report.total_bits += bits;
             self.report.max_message_bits = self.report.max_message_bits.max(bits);
@@ -1579,7 +1706,9 @@ impl<'g, P: Protocol> RoundEngine<'g, P> {
                 self.receivers.push(to as u32);
             }
         }
-        let (v, port) = cut.expect("fallback without violation implies a broken topology");
+        // wire and topology errors return mid-loop, so reaching here
+        // means a violation triggered the fallback
+        let (v, port) = cut.expect("fallback without violation implies a wire/topology error");
         SimError::CongestViolation {
             node: NodeId(v as usize),
             port,
@@ -1868,7 +1997,8 @@ mod tests {
         assert_eq!(cfg.dense_pct, 75);
         assert_eq!(cfg.shard_min, 1024);
         assert_eq!(cfg.bit_budget, None);
-        assert!(!cfg.wire_exact);
+        assert!(cfg.wire_exact, "wire-exact is the default mode");
+        assert!(!cfg.codec_profile);
         let cfg = cfg
             .with_threads(4)
             .with_scheduling(Scheduling::FullScan)
@@ -1876,14 +2006,16 @@ mod tests {
             .with_dense_pct(50)
             .with_shard_min(32)
             .with_bit_budget(96)
-            .with_wire_exact(true);
+            .with_wire_exact(false)
+            .with_codec_profile(true);
         assert_eq!(cfg.threads, 4);
         assert_eq!(cfg.scheduling, Scheduling::FullScan);
         assert!(!cfg.fast_forward);
         assert_eq!(cfg.dense_pct, 50);
         assert_eq!(cfg.shard_min, 32);
         assert_eq!(cfg.bit_budget, Some(96));
-        assert!(cfg.wire_exact);
+        assert!(!cfg.wire_exact);
+        assert!(cfg.codec_profile);
         assert_eq!(cfg.with_threads(0).threads, 1, "zero clamps to one");
         assert_eq!(cfg.with_shard_min(0).shard_min, 1, "zero clamps to one");
     }

@@ -1,0 +1,286 @@
+//! The unified event core: time-ordered scheduling shared by the round
+//! engine and the α executor.
+//!
+//! Both executors schedule *future work at a virtual time* — the round
+//! engine parks timer-armed nodes until their declared [`Wake`] round,
+//! the α executor orders message deliveries and node activations on a
+//! virtual clock. They historically carried parallel mechanisms: the
+//! engine a lazily-invalidated min-heap guarded by an authoritative
+//! per-node `wake_at` table, the α executor a `BinaryHeap` of
+//! `(time, seq, event)` triples with a hand-rolled always-equal wrapper
+//! to keep payloads out of the ordering. The duplication is what bred
+//! the PR 3 double-step bug class: every copy re-implements its own
+//! invalidation and dedup rules. This module owns both shapes once.
+//!
+//! - [`EventQueue`] is the α shape: arbitrary payloads, FIFO-stable
+//!   within a tick (ties pop in insertion order via an internal
+//!   sequence number), payloads never compared.
+//! - [`TimerHeap`] is the engine shape: at most one *authoritative*
+//!   wake per node (the `wake_at` table), heap entries lazily
+//!   invalidated against it, and the due-list dedup that the PR 3
+//!   regression proved necessary baked into [`TimerHeap::pop_due`]
+//!   itself rather than left to the caller.
+//!
+//! [`Wake`]: crate::sim::Wake
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Sentinel wake time: no timer armed (done, message-driven, crashed).
+pub const NEVER: u64 = u64::MAX;
+
+/// One queued event: ordered by `(at, seq)` only — the payload is never
+/// compared, so `E` needs no `Ord` (or even `PartialEq`).
+#[derive(Debug)]
+struct Entry<E> {
+    at: u64,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A min-heap of timed events, FIFO-stable within a tick: events pushed
+/// at the same virtual time pop in insertion order. This is the α
+/// executor's delivery queue — determinism of an event-driven run *is*
+/// this ordering guarantee.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `ev` at virtual time `at`. Events at equal times pop
+    /// in the order they were pushed.
+    pub fn push(&mut self, at: u64, ev: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, ev }));
+    }
+
+    /// Removes and returns the earliest event as `(time, event)`.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.ev))
+    }
+
+    /// Virtual time of the earliest queued event.
+    pub fn peek_at(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Whether no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Per-node one-shot timers with lazy invalidation: the engine's
+/// parked-wake mechanism.
+///
+/// The `wake_at` table is *authoritative* — a heap entry counts only
+/// while it still agrees with the table. Superseding a node's wake
+/// ([`TimerHeap::park`] at a different round, [`TimerHeap::note`], or
+/// [`TimerHeap::cancel`]) is O(1): the old heap entry is left behind
+/// and discarded when it surfaces. The subtle consequence (the PR 3
+/// double-step bug) is that the heap can briefly hold two *valid*
+/// entries for one `(round, node)`: an entry goes stale when a
+/// message-woken node changes its promise, and a later re-park at the
+/// original round both re-validates it and pushes a fresh copy. Both
+/// pop as due, so [`TimerHeap::pop_due`] dedups the due list itself —
+/// callers get each node at most once.
+#[derive(Debug)]
+pub struct TimerHeap {
+    /// The round each node asked to wake at, or [`NEVER`]. Heap entries
+    /// disagreeing with this are stale.
+    wake_at: Vec<u64>,
+    /// Timer-armed nodes as `(wake, node)`, lazily invalidated.
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl TimerHeap {
+    /// Creates a heap for `n` nodes, none armed.
+    pub fn new(n: usize) -> Self {
+        TimerHeap {
+            wake_at: vec![NEVER; n],
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Arms node `v`'s timer for round `at`, pushing a heap entry.
+    /// Re-parking at the node's current wake is free: the existing
+    /// entry is still valid, so no duplicate is pushed.
+    pub fn park(&mut self, v: u32, at: u64) {
+        if self.wake_at[v as usize] != at {
+            self.wake_at[v as usize] = at;
+            self.heap.push(Reverse((at, v)));
+        }
+    }
+
+    /// Records `at` as node `v`'s authoritative wake *without* a heap
+    /// entry — for wakes another mechanism already schedules (the
+    /// engine's ticking list). Any parked entry for `v` goes stale.
+    pub fn note(&mut self, v: u32, at: u64) {
+        self.wake_at[v as usize] = at;
+    }
+
+    /// Disarms node `v` (done, message-driven, or crashed); its parked
+    /// entry, if any, goes stale.
+    pub fn cancel(&mut self, v: u32) {
+        self.wake_at[v as usize] = NEVER;
+    }
+
+    /// Pops every timer due at or before `now` into `due` — sorted,
+    /// deduplicated, stale entries discarded. `due` is cleared first.
+    pub fn pop_due(&mut self, now: u64, due: &mut Vec<u32>) {
+        due.clear();
+        while let Some(&Reverse((wake, v))) = self.heap.peek() {
+            if wake > now {
+                break;
+            }
+            self.heap.pop();
+            if self.wake_at[v as usize] == wake {
+                due.push(v);
+            }
+        }
+        due.sort_unstable();
+        // two valid entries for one (round, node) can coexist — see the
+        // type docs; without this dedup the node would step twice
+        due.dedup();
+    }
+
+    /// Earliest *valid* armed wake, pruning stale entries from the top
+    /// of the heap. `None` means no timer is armed.
+    pub fn next_valid(&mut self) -> Option<u64> {
+        while let Some(&Reverse((wake, v))) = self.heap.peek() {
+            if self.wake_at[v as usize] != wake {
+                self.heap.pop(); // stale entry
+                continue;
+            }
+            return Some(wake);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_queue_orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.push(5, "late");
+        q.push(1, "first-at-1");
+        q.push(1, "second-at-1");
+        q.push(3, "mid");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peek_at(), Some(1));
+        assert_eq!(q.pop(), Some((1, "first-at-1")));
+        assert_eq!(q.pop(), Some((1, "second-at-1")));
+        assert_eq!(q.pop(), Some((3, "mid")));
+        assert_eq!(q.pop(), Some((5, "late")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn event_queue_needs_no_ord_on_payloads() {
+        // closures implement none of the comparison traits
+        let mut q: EventQueue<Box<dyn Fn() -> u64>> = EventQueue::new();
+        q.push(2, Box::new(|| 20));
+        q.push(2, Box::new(|| 21));
+        let (_, f) = q.pop().unwrap();
+        assert_eq!(f(), 20, "FIFO within the tick");
+    }
+
+    #[test]
+    fn timer_heap_pops_due_sorted() {
+        let mut t = TimerHeap::new(8);
+        t.park(5, 10);
+        t.park(2, 10);
+        t.park(7, 11);
+        let mut due = Vec::new();
+        t.pop_due(10, &mut due);
+        assert_eq!(due, vec![2, 5]);
+        t.pop_due(11, &mut due);
+        assert_eq!(due, vec![7]);
+        t.pop_due(12, &mut due);
+        assert!(due.is_empty());
+    }
+
+    #[test]
+    fn stale_entries_are_discarded() {
+        let mut t = TimerHeap::new(4);
+        t.park(1, 10);
+        t.park(1, 20); // supersedes: the round-10 entry is now stale
+        let mut due = Vec::new();
+        t.pop_due(10, &mut due);
+        assert!(due.is_empty(), "superseded timer must not fire");
+        assert_eq!(t.next_valid(), Some(20));
+        t.cancel(1);
+        assert_eq!(t.next_valid(), None, "cancel invalidates the entry");
+        t.pop_due(20, &mut due);
+        assert!(due.is_empty());
+    }
+
+    #[test]
+    fn revalidated_duplicate_entries_dedup() {
+        // The PR 3 double-step shape: park at r, supersede (stale),
+        // re-park at r (re-validates the old entry AND pushes a fresh
+        // copy). Both pop as valid; the due list must carry the node
+        // once.
+        let mut t = TimerHeap::new(4);
+        t.park(3, 10);
+        t.note(3, 7); // message wake changed the promise
+        t.park(3, 10); // re-park at the original round
+        let mut due = Vec::new();
+        t.pop_due(10, &mut due);
+        assert_eq!(due, vec![3], "node must be due exactly once");
+    }
+
+    #[test]
+    fn note_invalidates_without_scheduling() {
+        let mut t = TimerHeap::new(4);
+        t.park(2, 10);
+        t.note(2, 5); // ticking elsewhere: authoritative but heap-free
+        assert_eq!(t.next_valid(), None, "round-10 entry is stale");
+        let mut due = Vec::new();
+        t.pop_due(5, &mut due);
+        assert!(due.is_empty(), "note never creates heap entries");
+    }
+}

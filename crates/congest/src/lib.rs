@@ -64,6 +64,7 @@
 pub mod alpha;
 pub mod chaos;
 pub mod engine;
+pub mod events;
 pub mod faults;
 pub mod reliable;
 mod report;
@@ -80,6 +81,7 @@ pub use chaos::{
     EventMix, ShrinkReport,
 };
 pub use engine::{run_epochs, EngineConfig, EpochError, EpochRun, Scheduling};
+pub use events::{EventQueue, TimerHeap};
 pub use faults::{
     apply_churn, ChurnEpoch, ChurnError, ChurnEvent, ChurnRemap, FaultInjector, FaultPlan,
     FaultPlanError, Transmission,
@@ -92,4 +94,4 @@ pub use sim::{
     Wake, CONGEST_WORD_BITS,
 };
 pub use trace::{JsonlSink, MemorySink, TraceEvent, TraceSink, TraceSummary};
-pub use wire::{BitReader, BitWriter, Wire, WireError, WireFrame};
+pub use wire::{BitReader, BitWriter, CodecScratch, Wire, WireError, WireFrame};

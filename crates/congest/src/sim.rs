@@ -16,8 +16,8 @@ use crate::report::RunReport;
 /// mis-charging the CONGEST accounting. `size_bits` is *derived* from
 /// the encoded length (a zero-allocation counting pass over
 /// [`Wire::encode`](crate::wire::Wire::encode)), and wire-exact
-/// execution (`KDOM_WIRE=exact`) routes every send through the real
-/// frame. The `Send` bound lets the engine's parallel compute phase move
+/// execution (the default; `KDOM_WIRE=off` disables) routes every send
+/// through the real frame. The `Send` bound lets the engine's parallel compute phase move
 /// messages across worker shards; protocol messages are plain data, so
 /// it is automatic.
 pub trait Message: Clone + fmt::Debug + Send + crate::wire::Wire {
@@ -357,9 +357,10 @@ pub enum SimError {
         /// The checker's explanation.
         detail: String,
     },
-    /// Wire-exact execution (`KDOM_WIRE=exact`) found a message whose
-    /// frame failed to decode, or whose decoded form disagrees with what
-    /// was sent — the codec and the message type are out of sync.
+    /// Wire-exact execution (the default; `KDOM_WIRE=off` disables)
+    /// found a message whose frame failed to decode, or whose decoded
+    /// form disagrees with what was sent — the codec and the message
+    /// type are out of sync.
     WireMismatch {
         /// The sending node.
         node: NodeId,
@@ -565,6 +566,14 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// `(jumps, skipped_rounds)` taken by quiescence fast-forward so far.
     pub fn fast_forward_stats(&self) -> (u64, u64) {
         self.engine.fast_forward_stats()
+    }
+
+    /// `(nanoseconds, round_trips)` spent in the wire codec so far; all
+    /// zeros unless the run was configured with
+    /// [`EngineConfig::with_codec_profile`](crate::EngineConfig::with_codec_profile).
+    /// Profiling telemetry only — never part of [`RunReport`].
+    pub fn codec_stats(&self) -> (u64, u64) {
+        self.engine.codec_stats()
     }
 
     /// Executes a single round: delivers pending messages, steps the

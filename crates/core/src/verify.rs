@@ -6,7 +6,7 @@
 
 use std::fmt;
 
-use kdom_graph::properties::nearest_source;
+use kdom_graph::properties::{nearest_source_with_threads, oracle_threads};
 use kdom_graph::{Dsu, EdgeId, Graph, NodeId};
 
 use crate::clustering::Clustering;
@@ -109,11 +109,30 @@ impl std::error::Error for VerifyError {}
 /// Checks that `dominators` is a k-dominating set of `g` (every node
 /// within hop distance `k` of some dominator).
 ///
+/// The multi-source BFS worker count comes from
+/// [`oracle_threads`](kdom_graph::properties::oracle_threads); the
+/// verdict is byte-identical at every thread count.
+///
 /// # Errors
 ///
 /// Returns [`VerifyError::NotDominated`] for the first uncovered node.
 pub fn check_k_dominating(g: &Graph, dominators: &[NodeId], k: usize) -> Result<(), VerifyError> {
-    let (dist, _) = nearest_source(g, dominators);
+    check_k_dominating_with_threads(g, dominators, k, oracle_threads())
+}
+
+/// [`check_k_dominating`] with an explicit worker count for the
+/// multi-source BFS.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::NotDominated`] for the first uncovered node.
+pub fn check_k_dominating_with_threads(
+    g: &Graph,
+    dominators: &[NodeId],
+    k: usize,
+    threads: usize,
+) -> Result<(), VerifyError> {
+    let (dist, _) = nearest_source_with_threads(g, dominators, threads);
     for v in g.nodes() {
         if u64::from(dist[v.0]) > k as u64 {
             return Err(VerifyError::NotDominated {
@@ -241,11 +260,29 @@ pub fn check_spanning_forest(g: &Graph, edges: &[EdgeId], sigma: usize) -> Resul
 /// Checks that every edge in `edges` belongs to the unique MST of `g`
 /// ("each tree of this forest is a fragment of the MST").
 ///
+/// The reference Kruskal's worker count comes from
+/// [`oracle_threads`](kdom_graph::properties::oracle_threads); the
+/// verdict is byte-identical at every thread count.
+///
 /// # Errors
 ///
 /// Returns [`VerifyError::NotMstSubset`].
 pub fn check_mst_fragments(g: &Graph, edges: &[EdgeId]) -> Result<(), VerifyError> {
-    if kdom_graph::mst_ref::is_subset_of_mst(g, edges) {
+    check_mst_fragments_with_threads(g, edges, oracle_threads())
+}
+
+/// [`check_mst_fragments`] with an explicit worker count for the
+/// reference Kruskal.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::NotMstSubset`].
+pub fn check_mst_fragments_with_threads(
+    g: &Graph,
+    edges: &[EdgeId],
+    threads: usize,
+) -> Result<(), VerifyError> {
+    if kdom_graph::mst_ref::is_subset_of_mst_with_threads(g, edges, threads) {
         Ok(())
     } else {
         Err(VerifyError::NotMstSubset)

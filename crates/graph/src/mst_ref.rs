@@ -7,19 +7,69 @@
 
 use crate::dsu::Dsu;
 use crate::graph::{EdgeId, Graph, NodeId};
+use crate::properties::oracle_threads;
+
+/// Smallest edge count worth splitting the sort across workers.
+const PAR_EDGES_MIN: usize = 1 << 13;
 
 /// Kruskal's algorithm. Returns the MST edge ids (a minimum spanning
 /// *forest* if the graph is disconnected), sorted by weight.
+///
+/// Worker count for the edge sort comes from
+/// [`oracle_threads`](crate::properties::oracle_threads); see
+/// [`kruskal_with_threads`] for an explicit count.
 pub fn kruskal(g: &Graph) -> Vec<EdgeId> {
-    let mut order: Vec<EdgeId> = g.edges().iter().map(|e| e.id).collect();
-    order.sort_unstable_by_key(|&e| (g.edge(e).weight, e));
+    kruskal_with_threads(g, oracle_threads())
+}
+
+/// [`kruskal`] with an explicit worker count for the edge sort. The
+/// `(weight, id)` sort keys are unique, so the merged order — and thus
+/// the output — is byte-identical at every thread count. The union-find
+/// pass stays sequential (it is inherently ordered and cheap next to the
+/// sort).
+pub fn kruskal_with_threads(g: &Graph, threads: usize) -> Vec<EdgeId> {
+    let mut keys: Vec<(u64, EdgeId)> = g.edges().iter().map(|e| (e.weight, e.id)).collect();
+    if threads <= 1 || keys.len() < PAR_EDGES_MIN {
+        keys.sort_unstable();
+    } else {
+        let chunk = keys.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for part in keys.chunks_mut(chunk) {
+                scope.spawn(move || part.sort_unstable());
+            }
+        });
+        keys = merge_sorted_runs(keys, chunk);
+    }
     let mut dsu = Dsu::new(g.node_count());
     let mut out = Vec::new();
-    for e in order {
+    for &(_, e) in &keys {
         let er = g.edge(e);
         if dsu.union(er.u, er.v) {
             out.push(e);
         }
+    }
+    out
+}
+
+/// Merges `runs` of length `chunk` (last possibly shorter), each already
+/// sorted, into one sorted vector. Keys are unique, so the result is a
+/// total order independent of the run split.
+fn merge_sorted_runs(keys: Vec<(u64, EdgeId)>, chunk: usize) -> Vec<(u64, EdgeId)> {
+    let mut cursors: Vec<(usize, usize)> = (0..keys.len())
+        .step_by(chunk)
+        .map(|lo| (lo, keys.len().min(lo + chunk)))
+        .collect();
+    let mut out = Vec::with_capacity(keys.len());
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, &(pos, end)) in cursors.iter().enumerate() {
+            if pos < end && best.is_none_or(|b: usize| keys[pos] < keys[cursors[b].0]) {
+                best = Some(i);
+            }
+        }
+        let Some(b) = best else { break };
+        out.push(keys[cursors[b].0]);
+        cursors[b].0 += 1;
     }
     out
 }
@@ -85,24 +135,36 @@ pub fn is_spanning_tree(g: &Graph, edges: &[EdgeId]) -> bool {
 /// Whether `edges` equals the unique MST of `g` (requires distinct
 /// weights; falls back to weight comparison otherwise).
 pub fn is_mst(g: &Graph, edges: &[EdgeId]) -> bool {
+    is_mst_with_threads(g, edges, oracle_threads())
+}
+
+/// [`is_mst`] with an explicit worker count for the reference Kruskal.
+pub fn is_mst_with_threads(g: &Graph, edges: &[EdgeId], threads: usize) -> bool {
     if !is_spanning_tree(g, edges) {
         return false;
     }
     if g.has_distinct_weights() {
         let mut a: Vec<EdgeId> = edges.to_vec();
         a.sort_unstable();
-        let mut b = kruskal(g);
+        let mut b = kruskal_with_threads(g, threads);
         b.sort_unstable();
         a == b
     } else {
-        g.total_weight(edges.iter().copied()) == mst_weight(g)
+        g.total_weight(edges.iter().copied()) == g.total_weight(kruskal_with_threads(g, threads))
     }
 }
 
 /// Whether every edge of `edges` belongs to the unique MST (the paper's
 /// "each tree of this forest is a fragment of the MST").
 pub fn is_subset_of_mst(g: &Graph, edges: &[EdgeId]) -> bool {
-    let mst: std::collections::HashSet<EdgeId> = kruskal(g).into_iter().collect();
+    is_subset_of_mst_with_threads(g, edges, oracle_threads())
+}
+
+/// [`is_subset_of_mst`] with an explicit worker count for the reference
+/// Kruskal.
+pub fn is_subset_of_mst_with_threads(g: &Graph, edges: &[EdgeId], threads: usize) -> bool {
+    let mst: std::collections::HashSet<EdgeId> =
+        kruskal_with_threads(g, threads).into_iter().collect();
     edges.iter().all(|e| mst.contains(e))
 }
 
@@ -182,6 +244,23 @@ mod tests {
         assert!(is_spanning_tree(&g, &st));
         assert!(!is_mst(&g, &st));
         assert!(!is_subset_of_mst(&g, &st));
+    }
+
+    #[test]
+    fn parallel_kruskal_matches_sequential() {
+        use crate::generators::gnm_connected;
+        // m above PAR_EDGES_MIN so the chunked sort + merge genuinely runs
+        let g = gnm_connected(&GenConfig::with_seed(2048, 9), 10000);
+        let seq = kruskal_with_threads(&g, 1);
+        for threads in [2, 4] {
+            assert_eq!(
+                kruskal_with_threads(&g, threads),
+                seq,
+                "threads = {threads}"
+            );
+        }
+        assert!(is_mst_with_threads(&g, &seq, 4));
+        assert!(is_subset_of_mst_with_threads(&g, &seq[..100], 4));
     }
 
     #[test]

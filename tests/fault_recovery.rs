@@ -349,9 +349,9 @@ fn budget_exhaustion_names_stuck_nodes() {
     );
 }
 
-/// Reliable α with wire-exact execution toggled explicitly (the code
-/// path behind `KDOM_WIRE=exact`, pinned here without touching the
-/// process environment).
+/// Reliable α with wire-exact execution toggled explicitly (the same
+/// switch `KDOM_WIRE` flips — on by default, `off` disables — pinned
+/// here without touching the process environment).
 fn run_reliable<P: Protocol>(
     g: &Graph,
     nodes: Vec<P>,
