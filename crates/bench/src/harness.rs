@@ -182,10 +182,7 @@ pub fn check_regression_gate() {
     if std::env::var("KDOM_BENCH_GATE").as_deref() != Ok("1") {
         return;
     }
-    let tolerance_pct = std::env::var("KDOM_BENCH_TOLERANCE")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(15.0);
+    let tolerance_pct = kdom_graph::knob::knob("KDOM_BENCH_TOLERANCE", 15.0f64);
     let path = PathBuf::from(concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../BENCH_engine.json"
@@ -251,6 +248,28 @@ pub fn check_regression_gate() {
     assert!(
         compared > 0,
         "bench gate: no engine targets shared with the committed baseline — gate would be vacuous"
+    );
+    // The inverse direction: a baseline row whose (name, mode) no
+    // longer shows up in the fresh run means that target silently
+    // stopped being gated — usually a renamed bench or a dropped mode.
+    // Warn per row, and refuse to pass if the gate lost most of its
+    // coverage.
+    let baseline_rows: Vec<_> = old.iter().filter(|(n, _, _)| !is_probe(n)).collect();
+    let mut unmatched = 0usize;
+    for (name, mode, _) in &baseline_rows {
+        if !results.iter().any(|s| &s.name == name && &s.mode == mode) {
+            unmatched += 1;
+            eprintln!(
+                "bench gate: warning: baseline row {name} (mode {}) has no fresh counterpart — it is no longer gated",
+                mode.as_deref().unwrap_or("-")
+            );
+        }
+    }
+    assert!(
+        unmatched * 2 <= baseline_rows.len(),
+        "bench gate: {unmatched} of {} baseline rows have no fresh counterpart — over half the \
+         baseline is no longer exercised; refresh BENCH_engine.json or restore the missing targets",
+        baseline_rows.len()
     );
     assert!(
         regressions.is_empty(),
@@ -474,11 +493,7 @@ impl Bencher {
 }
 
 fn budget() -> Duration {
-    let ms = std::env::var("KDOM_BENCH_MS")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(300);
-    Duration::from_millis(ms)
+    Duration::from_millis(kdom_graph::knob::knob("KDOM_BENCH_MS", 300u64))
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {

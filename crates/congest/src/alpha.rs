@@ -386,9 +386,14 @@ impl<'g, P: Protocol> AlphaSimulator<'g, P> {
             unacked_payloads: 0,
             last_activity: 0,
             outbox_pool: Vec::new(),
-            exact: !matches!(
-                std::env::var("KDOM_WIRE").as_deref(),
-                Ok("off") | Ok("0") | Ok("false") | Ok("no") | Ok("zero-copy")
+            // same fail-fast alias table as `EngineConfig::from_env`
+            exact: kdom_graph::knob::knob_enum(
+                "KDOM_WIRE",
+                true,
+                &[
+                    (&["off", "0", "false", "no", "zero-copy"], false),
+                    (&["exact", "1", "on", "true", "yes", "wire-exact"], true),
+                ],
             ),
             codec: CodecScratch::new(),
             violation: None,

@@ -81,23 +81,25 @@ impl Default for ChaosConfig {
 
 impl ChaosConfig {
     /// Reads the `KDOM_CHAOS_*` knobs, falling back to the defaults for
-    /// unset or unparsable values.
+    /// unset (or empty) values.
+    ///
+    /// # Panics
+    ///
+    /// Panics, naming the variable and the offending value, when a knob
+    /// is set but does not parse (via [`kdom_graph::knob`]) — a sweep
+    /// invoked with `KDOM_CHAOS_SCHEDULES=abc` must not silently run the
+    /// 50-schedule default and report success.
     pub fn from_env() -> Self {
+        use kdom_graph::knob::knob;
         let d = ChaosConfig::default();
-        fn num<T: std::str::FromStr>(key: &str, dflt: T) -> T {
-            std::env::var(key)
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(dflt)
-        }
         ChaosConfig {
-            schedules: num("KDOM_CHAOS_SCHEDULES", d.schedules),
-            epochs: num("KDOM_CHAOS_EPOCHS", d.epochs),
-            events_per_epoch: num("KDOM_CHAOS_EVENTS", d.events_per_epoch),
-            seed: num("KDOM_CHAOS_SEED", d.seed),
-            drop_prob: num("KDOM_CHAOS_DROP", d.drop_prob),
-            dup_prob: num("KDOM_CHAOS_DUP", d.dup_prob),
-            max_gap: num("KDOM_CHAOS_GAP", d.max_gap),
+            schedules: knob("KDOM_CHAOS_SCHEDULES", d.schedules),
+            epochs: knob("KDOM_CHAOS_EPOCHS", d.epochs),
+            events_per_epoch: knob("KDOM_CHAOS_EVENTS", d.events_per_epoch),
+            seed: knob("KDOM_CHAOS_SEED", d.seed),
+            drop_prob: knob("KDOM_CHAOS_DROP", d.drop_prob),
+            dup_prob: knob("KDOM_CHAOS_DUP", d.dup_prob),
+            max_gap: knob("KDOM_CHAOS_GAP", d.max_gap),
             artifact_dir: std::env::var("KDOM_CHAOS_DIR")
                 .ok()
                 .filter(|s| !s.is_empty()),

@@ -155,42 +155,77 @@ impl Default for EngineConfig {
 impl EngineConfig {
     /// Reads the configuration from the environment:
     ///
-    /// - `KDOM_THREADS`: positive worker count, clamped to 256;
-    /// - `KDOM_SCHED`: `full`/`full-scan` for [`Scheduling::FullScan`];
-    ///   anything else, including unset, selects [`Scheduling::ActiveSet`];
-    /// - `KDOM_FASTFWD`: `0`/`off`/`false`/`no` disables fast-forward;
-    /// - `KDOM_DENSE_PCT`: dense-scan fallback threshold (percent);
-    /// - `KDOM_SHARD_MIN`: minimum active nodes per worker shard;
+    /// - `KDOM_THREADS`: worker count in `1..=256`;
+    /// - `KDOM_SCHED`: `full`/`full-scan`/`fullscan` for
+    ///   [`Scheduling::FullScan`], `active`/`active-set`/`activeset` for
+    ///   [`Scheduling::ActiveSet`] (the default when unset);
+    /// - `KDOM_FASTFWD`: `0`/`off`/`false`/`no` disables fast-forward,
+    ///   `1`/`on`/`true`/`yes` keeps it on (the default when unset);
+    /// - `KDOM_DENSE_PCT`: dense-scan fallback threshold in `0..=300`
+    ///   percent (the merged estimate counts each node at most thrice, so
+    ///   larger values could never trigger);
+    /// - `KDOM_SHARD_MIN`: minimum active nodes per worker shard, at
+    ///   least 1;
     /// - `KDOM_WIRE`: `off` (or `0`/`false`/`no`/`zero-copy`) disables
-    ///   wire-exact execution; anything else, including unset, keeps the
-    ///   wire-exact default.
+    ///   wire-exact execution, `exact` (or `1`/`on`/`true`/`yes`/
+    ///   `wire-exact`) keeps the wire-exact default.
+    ///
+    /// # Panics
+    ///
+    /// Panics, naming the variable and the offending value, when a knob
+    /// is set but malformed or out of range (via
+    /// [`kdom_graph::knob`]) — a typo'd knob must not silently run the
+    /// default configuration.
     pub fn from_env() -> Self {
+        use kdom_graph::knob::{knob_checked, knob_enum};
         let defaults = EngineConfig::default();
-        let threads = std::env::var("KDOM_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .map(|t| t.clamp(1, 256))
-            .unwrap_or(1);
-        let scheduling = match std::env::var("KDOM_SCHED").as_deref() {
-            Ok("full") | Ok("full-scan") | Ok("fullscan") => Scheduling::FullScan,
-            _ => Scheduling::ActiveSet,
-        };
-        let fast_forward = !matches!(
-            std::env::var("KDOM_FASTFWD").as_deref(),
-            Ok("0") | Ok("off") | Ok("false") | Ok("no")
+        let threads = knob_checked("KDOM_THREADS", 1usize, |&t| {
+            if (1..=256).contains(&t) {
+                Ok(())
+            } else {
+                Err("worker count must be in 1..=256".into())
+            }
+        });
+        let scheduling = knob_enum(
+            "KDOM_SCHED",
+            Scheduling::ActiveSet,
+            &[
+                (&["full", "full-scan", "fullscan"], Scheduling::FullScan),
+                (
+                    &["active", "active-set", "activeset"],
+                    Scheduling::ActiveSet,
+                ),
+            ],
         );
-        let dense_pct = std::env::var("KDOM_DENSE_PCT")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(defaults.dense_pct);
-        let shard_min = std::env::var("KDOM_SHARD_MIN")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .map(|m| m.max(1))
-            .unwrap_or(defaults.shard_min);
-        let wire_exact = !matches!(
-            std::env::var("KDOM_WIRE").as_deref(),
-            Ok("off") | Ok("0") | Ok("false") | Ok("no") | Ok("zero-copy")
+        let fast_forward = knob_enum(
+            "KDOM_FASTFWD",
+            true,
+            &[
+                (&["0", "off", "false", "no"], false),
+                (&["1", "on", "true", "yes"], true),
+            ],
+        );
+        let dense_pct = knob_checked("KDOM_DENSE_PCT", defaults.dense_pct, |&p| {
+            if p <= 300 {
+                Ok(())
+            } else {
+                Err("dense-scan threshold above 300% can never trigger".into())
+            }
+        });
+        let shard_min = knob_checked("KDOM_SHARD_MIN", defaults.shard_min, |&m| {
+            if m >= 1 {
+                Ok(())
+            } else {
+                Err("shard size must be at least 1".into())
+            }
+        });
+        let wire_exact = knob_enum(
+            "KDOM_WIRE",
+            true,
+            &[
+                (&["off", "0", "false", "no", "zero-copy"], false),
+                (&["exact", "1", "on", "true", "yes", "wire-exact"], true),
+            ],
         );
         EngineConfig {
             threads,
@@ -1937,7 +1972,9 @@ where
 }
 
 /// Merges two sorted, duplicate-free lists into `out`, deduplicating.
-fn merge_sorted_dedup(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+/// Shared with the socket transport's coordinator, which rebuilds the
+/// same active-set merge over its frame arena.
+pub(crate) fn merge_sorted_dedup(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {

@@ -70,6 +70,7 @@ pub mod reliable;
 mod report;
 mod sim;
 pub mod trace;
+pub mod transport;
 pub mod wire;
 
 pub use alpha::{
@@ -94,4 +95,11 @@ pub use sim::{
     Wake, CONGEST_WORD_BITS,
 };
 pub use trace::{JsonlSink, MemorySink, TraceEvent, TraceSink, TraceSummary};
-pub use wire::{BitReader, BitWriter, CodecScratch, Wire, WireError, WireFrame};
+pub use transport::{
+    coordinate, frame_to_bytes, graph_fingerprint, net_timeout, read_frame, run_worker,
+    shard_bounds, Conn, CoordListener, CoordOpts, DistOutcome, Endpoint, WorkerOpts,
+    TRANSPORT_VERSION,
+};
+pub use wire::{
+    decode_from, encode_to, BitReader, BitWriter, CodecScratch, Wire, WireError, WireFrame,
+};

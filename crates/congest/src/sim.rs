@@ -381,6 +381,19 @@ pub enum SimError {
         /// How many transmission attempts were made.
         attempts: u32,
     },
+    /// A multi-process peer disappeared or went silent: its socket hit
+    /// end-of-file, a read timed out past the heartbeat deadline, or its
+    /// handshake disagreed about the protocol version or the graph
+    /// (socket transport only).
+    PeerLost {
+        /// The shard index of the lost peer (`u32::MAX` for the
+        /// coordinator, as seen from a worker).
+        peer: u32,
+        /// The round the run had reached when contact was lost.
+        round: u64,
+        /// What happened on the stream.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -426,6 +439,17 @@ impl fmt::Display for SimError {
                 f,
                 "reliable delivery exhausted after {attempts} attempts on {node:?} {port:?}"
             ),
+            SimError::PeerLost {
+                peer,
+                round,
+                detail,
+            } => {
+                if *peer == u32::MAX {
+                    write!(f, "lost the coordinator at round {round}: {detail}")
+                } else {
+                    write!(f, "lost worker shard {peer} at round {round}: {detail}")
+                }
+            }
         }
     }
 }

@@ -311,6 +311,43 @@ impl BitWriter {
     }
 }
 
+/// Encodes `value` into `out` (cleared and reused), returning the bit
+/// length. The zero-allocation form of [`Wire::to_frame`] for callers
+/// that stream raw words — e.g. the socket transport's frame writer,
+/// which serializes the word buffer straight to a stream instead of
+/// holding a [`WireFrame`].
+pub fn encode_to<T: Wire>(value: &T, out: &mut Vec<u64>) -> u64 {
+    let mut w = BitWriter::reuse(std::mem::take(out));
+    value.encode(&mut w);
+    let (words, bits) = w.into_raw();
+    *out = words;
+    bits
+}
+
+/// Decodes a value from raw frame words, requiring the word count to
+/// match `ceil(bits / 64)` and every bit to be consumed — the inverse
+/// of [`encode_to`], for callers that received the words from a stream.
+///
+/// # Errors
+///
+/// [`WireError::BadLength`] when the word count does not match the
+/// declared bit length, any decode error, or [`WireError::Leftover`]
+/// when the frame is longer than the decoded value's encoding.
+pub fn decode_from<T: Wire>(words: &[u64], bits: u64) -> Result<T, WireError> {
+    if words.len() as u64 != bits.div_ceil(64) {
+        return Err(WireError::BadLength {
+            context: "frame word count",
+            bits,
+        });
+    }
+    let mut r = BitReader::from_raw(words, bits);
+    let v = T::decode(&mut r)?;
+    match r.remaining() {
+        0 => Ok(v),
+        bits => Err(WireError::Leftover { bits }),
+    }
+}
+
 /// Cursor over an encoded frame, used by [`Wire::decode`].
 #[derive(Debug)]
 pub struct BitReader<'a> {

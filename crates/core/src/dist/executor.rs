@@ -121,6 +121,38 @@ impl Executor {
             Executor::ReliableAlpha { .. } => "reliable-α",
         }
     }
+
+    /// The backend selected by `KDOM_TRANSPORT`, failing fast on
+    /// anything it cannot honor. Unset or `local` is [`Executor::Sync`].
+    /// A socket endpoint (`tcp:…`, `host:port`, `unix:/…`) is *valid
+    /// but not runnable here*: the in-process `Executor` hands the final
+    /// automata back to the caller, which is impossible when they live
+    /// in other processes — multi-process runs go through the
+    /// `kdom-shard` binary (`kdom_congest::transport`). Naming that
+    /// explicitly beats the historical alternative of silently falling
+    /// back to an in-process run the user believed was distributed.
+    ///
+    /// # Panics
+    ///
+    /// On a socket endpoint (with a pointer to `kdom-shard`) or on any
+    /// other unrecognized value, quoting the offending text.
+    pub fn from_env() -> Self {
+        match std::env::var("KDOM_TRANSPORT") {
+            Err(std::env::VarError::NotPresent) => Executor::Sync,
+            Err(e) => panic!("KDOM_TRANSPORT is not valid unicode: {e}"),
+            Ok(v) if v == "local" || v.is_empty() => Executor::Sync,
+            Ok(v) if v.parse::<kdom_congest::transport::Endpoint>().is_ok() => panic!(
+                "KDOM_TRANSPORT={v} names a socket endpoint, but the in-process Executor \
+                 cannot run a multi-process fleet (it must return the final automata). \
+                 Launch the distributed run with the kdom-shard binary instead: \
+                 `kdom-shard run --shards N --graph … --proto …`"
+            ),
+            Ok(v) => panic!(
+                "KDOM_TRANSPORT={v:?} is not understood: use `local`, or run the \
+                 kdom-shard binary for socket transports"
+            ),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +198,26 @@ mod tests {
             reports.push(report);
         }
         assert_eq!(reports[0], reports[1], "configs must be byte-identical");
+    }
+
+    #[test]
+    fn from_env_refuses_socket_endpoints_instead_of_falling_back() {
+        // a socket endpoint is valid *transport* syntax but the
+        // in-process Executor cannot honor it — the panic must point at
+        // kdom-shard, not silently run locally
+        let err = std::panic::catch_unwind(|| {
+            std::env::set_var("KDOM_TRANSPORT", "tcp:127.0.0.1:7000");
+            let exec = Executor::from_env();
+            std::env::remove_var("KDOM_TRANSPORT");
+            exec
+        })
+        .expect_err("a socket endpoint must not fall back to Sync");
+        std::env::remove_var("KDOM_TRANSPORT");
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(
+            msg.contains("kdom-shard"),
+            "no pointer to the launcher: {msg}"
+        );
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! * rooted-tree views with parent/children/depth arrays ([`tree`]);
 //! * a disjoint-set union used by the sequential MST algorithms and by the
 //!   red-rule verifiers ([`dsu`]);
+//! * fail-fast parsing of `KDOM_*` environment knobs, shared by every
+//!   layer above ([`knob`]);
 //! * sequential reference MST algorithms (Kruskal, Prim) against which the
 //!   distributed algorithms are validated ([`mst_ref`]).
 //!
@@ -33,10 +35,12 @@
 pub mod dsu;
 pub mod generators;
 pub mod graph;
+pub mod knob;
 pub mod mst_ref;
 pub mod properties;
 pub mod tree;
 
 pub use dsu::Dsu;
 pub use graph::{EdgeId, EdgeRef, Graph, GraphBuilder, NodeId};
+pub use knob::{knob, knob_checked, knob_enum};
 pub use tree::RootedTree;

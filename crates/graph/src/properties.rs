@@ -28,11 +28,18 @@ const PAR_FRONTIER_MIN: usize = 256;
 /// parallel sweeps are deterministic, so the knob changes wall-clock
 /// only, never outputs.
 pub fn oracle_threads() -> usize {
-    std::env::var("KDOM_ORACLE_THREADS")
-        .or_else(|_| std::env::var("KDOM_THREADS"))
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .map_or(1, |t| t.max(1))
+    let positive = |&t: &usize| {
+        if t >= 1 {
+            Ok(())
+        } else {
+            Err("worker count must be at least 1".to_string())
+        }
+    };
+    if std::env::var("KDOM_ORACLE_THREADS").is_ok_and(|v| !v.is_empty()) {
+        crate::knob::knob_checked("KDOM_ORACLE_THREADS", 1, positive)
+    } else {
+        crate::knob::knob_checked("KDOM_THREADS", 1, positive)
+    }
 }
 
 /// Hop distances from `src` to every node (`UNREACHABLE` if disconnected).

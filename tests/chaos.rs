@@ -391,6 +391,18 @@ fn partition1_weight_only_churn_is_a_certified_noop() {
 #[ignore = "nightly budget; run with --ignored (KDOM_CHAOS_* configures it)"]
 fn chaos_nightly() {
     let cfg = ChaosConfig::from_env();
+    // Resolve and create the artifact directory *before* any schedule
+    // runs: an uncreatable KDOM_CHAOS_DIR used to surface only after a
+    // failure had already been found and minimized — losing the repro
+    // the whole run existed to capture.
+    let dir = cfg.artifact_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join("kdom-chaos")
+            .display()
+            .to_string()
+    });
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("cannot create KDOM_CHAOS_DIR {dir:?}: {e}"));
     let base = Family::Gnp.generate(32, cfg.seed ^ 0x9E37);
     let k = 2;
     for i in 0..cfg.schedules as u64 {
@@ -408,16 +420,13 @@ fn chaos_nightly() {
             |s| std::panic::catch_unwind(|| run_and_check(&base, s, k)).is_err(),
             2_000,
         );
-        let dir = cfg.artifact_dir.clone().unwrap_or_else(|| {
-            std::env::temp_dir()
-                .join("kdom-chaos")
-                .display()
-                .to_string()
-        });
-        std::fs::create_dir_all(&dir).expect("create artifact dir");
+        // Artifacts land via tmp + rename so an interrupted run (CI
+        // timeout, OOM kill mid-write) leaves either the complete file
+        // or nothing — never a truncated repro that replays differently.
         let seed_path = format!("{dir}/minimal-seed.txt");
+        let seed_tmp = format!("{seed_path}.tmp");
         std::fs::write(
-            &seed_path,
+            &seed_tmp,
             format!(
                 "base: Gnp n=32 seed={:#x}\nfailure: {msg}\n{}\nminimal plan: {:#?}\n",
                 cfg.seed ^ 0x9E37,
@@ -426,11 +435,18 @@ fn chaos_nightly() {
             ),
         )
         .expect("write minimal seed");
-        // replay the minimal schedule with tracing on for the artifact
+        std::fs::rename(&seed_tmp, &seed_path).expect("publish minimal seed");
+        // replay the minimal schedule with tracing on for the artifact;
+        // the trace streams into the tmp path and is published whole
+        // (KDOM_TRACE appends, so a stale file from an earlier failure
+        // would otherwise pollute the new repro)
         let trace_path = format!("{dir}/minimal-trace.jsonl");
-        std::env::set_var("KDOM_TRACE", &trace_path);
+        let trace_tmp = format!("{trace_path}.tmp");
+        let _ = std::fs::remove_file(&trace_tmp);
+        std::env::set_var("KDOM_TRACE", &trace_tmp);
         let _ = std::panic::catch_unwind(|| run_and_check(&base, &report.schedule, k));
         std::env::remove_var("KDOM_TRACE");
+        std::fs::rename(&trace_tmp, &trace_path).expect("publish minimal trace");
         panic!(
             "schedule seed {} failed ({msg}); minimal repro ({} events) at {seed_path}, trace at {trace_path}",
             sched.seed, report.events_after
