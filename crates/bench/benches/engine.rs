@@ -332,6 +332,51 @@ fn bench_wire_codec(c: &mut Criterion) {
     g.finish();
 }
 
+/// Service-layer throughput rows: a 64-job sweep through the job
+/// scheduler, cache-cold (`miss-grid64`, every job invokes the engine)
+/// and fully cached (`hit-grid64`, the identical sweep resubmitted —
+/// zero engine invocations, results served by pointer clone). Hand-timed
+/// single passes, like the million-node rows: a sweep is a batch, not an
+/// iterable microbench. Tagged `mode: "sweep"` so the regression gate
+/// only ever compares these rows against other sweep rows, never against
+/// engine legs.
+fn bench_sweep_throughput(_c: &mut Criterion) {
+    use kdom_congest::{JobPool, JobStatus, RunSpec, SweepSpec};
+    let graph = std::sync::Arc::new(Family::Grid.generate(256, 21));
+    let seeds: Vec<u64> = (0..64).collect();
+    let sweep = SweepSpec::new(RunSpec::default().with_k(8)).over_seeds(&seeds);
+    let pool = JobPool::new(4, 64 << 20, kdom_mst::service::runner());
+    eprintln!("group jobs/sweep_throughput");
+    for (leg, want_cached) in [("miss-grid64", false), ("hit-grid64", true)] {
+        let start = std::time::Instant::now();
+        let handles = pool.submit_sweep(&graph, &sweep);
+        for h in &handles {
+            h.wait().expect("sweep job runs");
+        }
+        let wall = start.elapsed().as_secs_f64();
+        for h in &handles {
+            assert_eq!(
+                h.status(),
+                JobStatus::Done {
+                    from_cache: want_cached
+                },
+                "{leg}: unexpected cache behaviour"
+            );
+        }
+        let jobs = handles.len() as u64;
+        let jobs_per_sec = jobs as f64 / wall.max(1e-12);
+        eprintln!("  {leg}: {wall:.3}s for {jobs} jobs ({jobs_per_sec:.0} jobs/s)");
+        let name = format!("jobs/sweep_throughput/{leg}");
+        record_measurement(&name, wall);
+        note_mode(&name, "sweep");
+        note_extra(&name, "jobs", jobs);
+        note_extra(&name, "jobs_per_sec", jobs_per_sec as u64);
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.engine_runs, 64, "the cached pass must run nothing");
+    assert_eq!(stats.cache.hits, 64, "all 64 resubmissions must hit");
+}
+
 /// Million-node rows: the full Fast-MST composition (`k = ⌈√n⌉ = 1000`)
 /// on a streamed `G(n, m)` graph with 10^6 nodes and 2×10^6 edges, once
 /// zero-copy (`KDOM_WIRE=off`) and once wire-exact (the default). Each
@@ -341,7 +386,7 @@ fn bench_wire_codec(c: &mut Criterion) {
 /// see it. Skipped in smoke runs (`KDOM_BENCH_MS=0`): CI covers this
 /// scale with the dedicated `large-graph` job at 10^5 nodes instead.
 fn bench_fast_mst_rand1m(_c: &mut Criterion) {
-    let smoke = std::env::var("KDOM_BENCH_MS").is_ok_and(|v| v == "0");
+    let smoke = kdom_graph::knob::knob("KDOM_BENCH_MS", 300u64) == 0;
     if smoke {
         eprintln!("kdom-bench: skipping fast_mst_rand1M in smoke mode (KDOM_BENCH_MS=0)");
     } else {
@@ -396,6 +441,7 @@ criterion_group!(
     profile_round_walltime,
     bench_fast_mst,
     bench_wire_codec,
+    bench_sweep_throughput,
     bench_fast_mst_rand1m
 );
 criterion_main!(benches);

@@ -179,7 +179,9 @@ pub fn write_json(file_name: &str) -> std::io::Result<PathBuf> {
 /// scrape that parses nothing, or zero shared targets is an error, never
 /// a silent pass.
 pub fn check_regression_gate() {
-    if std::env::var("KDOM_BENCH_GATE").as_deref() != Ok("1") {
+    // fail-fast flag parse: `KDOM_BENCH_GATE=yes please` must abort, not
+    // silently skip the gate (the historical `!= Ok("1")` did exactly that)
+    if !kdom_graph::knob::knob_flag("KDOM_BENCH_GATE", false) {
         return;
     }
     let tolerance_pct = kdom_graph::knob::knob("KDOM_BENCH_TOLERANCE", 15.0f64);

@@ -100,9 +100,7 @@ impl ChaosConfig {
             drop_prob: knob("KDOM_CHAOS_DROP", d.drop_prob),
             dup_prob: knob("KDOM_CHAOS_DUP", d.dup_prob),
             max_gap: knob("KDOM_CHAOS_GAP", d.max_gap),
-            artifact_dir: std::env::var("KDOM_CHAOS_DIR")
-                .ok()
-                .filter(|s| !s.is_empty()),
+            artifact_dir: kdom_graph::knob::raw("KDOM_CHAOS_DIR"),
         }
     }
 }

@@ -66,6 +66,7 @@ pub mod chaos;
 pub mod engine;
 pub mod events;
 pub mod faults;
+pub mod jobs;
 pub mod reliable;
 mod report;
 mod sim;
@@ -86,6 +87,10 @@ pub use events::{EventQueue, TimerHeap};
 pub use faults::{
     apply_churn, ChurnEpoch, ChurnError, ChurnEvent, ChurnRemap, FaultInjector, FaultPlan,
     FaultPlanError, Transmission,
+};
+pub use jobs::{
+    run_serial, Algo, CacheKey, CacheStats, ExecSpec, JobHandle, JobOutput, JobPool, JobStatus,
+    PoolStats, ResultCache, RunSpec, Runner, SweepSpec,
 };
 pub use reliable::ReliableConfig;
 pub use report::RunReport;

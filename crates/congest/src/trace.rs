@@ -443,6 +443,17 @@ impl MemorySink {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// The serialized lines recorded at index `from` and later — the
+    /// incremental read used by `kdom-serve` trace subscribers, who poll
+    /// a job's sink and remember how far they have streamed.
+    pub fn lines_since(&self, from: usize) -> Vec<String> {
+        let lines = self.lines.lock().unwrap_or_else(|p| p.into_inner());
+        lines
+            .get(from..)
+            .map(<[String]>::to_vec)
+            .unwrap_or_default()
+    }
 }
 
 impl TraceSink for MemorySink {
@@ -454,12 +465,59 @@ impl TraceSink for MemorySink {
     }
 }
 
-/// Builds the sink selected by the environment: a [`JsonlSink`] appending
-/// to the file named by `KDOM_TRACE`, or `None` (the zero-cost default)
-/// when the variable is unset or empty. An unopenable path is reported
-/// to stderr once and treated as disabled rather than aborting the run.
+/// A per-thread trace policy overriding the `KDOM_TRACE` environment
+/// knob; installed with [`with_thread_trace`].
+///
+/// The environment is process-global, which is exactly wrong for the job
+/// scheduler: two concurrent jobs appending to one `KDOM_TRACE` file
+/// would interleave their streams into something no validator accepts.
+/// Every sink attach point in the workspace funnels through
+/// [`from_env`], so a thread-scoped override at that one choke point
+/// gives each job its own policy without touching the engine.
+#[derive(Clone, Default)]
+pub enum ThreadTrace {
+    /// Defer to the `KDOM_TRACE` environment knob (the default).
+    #[default]
+    Inherit,
+    /// Tracing disabled on this thread regardless of the environment.
+    Off,
+    /// Events recorded into this shared in-memory sink.
+    Capture(MemorySink),
+}
+
+thread_local! {
+    static THREAD_TRACE: std::cell::RefCell<ThreadTrace> =
+        const { std::cell::RefCell::new(ThreadTrace::Inherit) };
+}
+
+/// Runs `f` with `mode` as this thread's trace policy, restoring the
+/// previous policy afterwards (also on panic, so a crashed job cannot
+/// leak its capture sink into the worker thread's next job).
+pub fn with_thread_trace<R>(mode: ThreadTrace, f: impl FnOnce() -> R) -> R {
+    struct Restore(ThreadTrace);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = std::mem::take(&mut self.0);
+            THREAD_TRACE.with(|t| *t.borrow_mut() = prev);
+        }
+    }
+    let _restore = Restore(THREAD_TRACE.with(|t| t.replace(mode)));
+    f()
+}
+
+/// Builds the sink selected by this thread's policy: the capture sink or
+/// nothing when a [`ThreadTrace`] override is installed, otherwise a
+/// [`JsonlSink`] appending to the file named by `KDOM_TRACE`, or `None`
+/// (the zero-cost default) when the variable is unset or empty. An
+/// unopenable path is reported to stderr once and treated as disabled
+/// rather than aborting the run.
 pub fn from_env() -> Option<Box<dyn TraceSink>> {
-    let path = std::env::var(TRACE_ENV).ok().filter(|p| !p.is_empty())?;
+    match THREAD_TRACE.with(|t| t.borrow().clone()) {
+        ThreadTrace::Off => return None,
+        ThreadTrace::Capture(sink) => return Some(Box::new(sink)),
+        ThreadTrace::Inherit => {}
+    }
+    let path = kdom_graph::knob::raw(TRACE_ENV)?;
     match JsonlSink::append(&path) {
         Ok(sink) => Some(Box::new(sink)),
         Err(e) => {
@@ -1418,5 +1476,53 @@ mod tests {
         );
         let err = validate_str(text, None).expect_err("churn inside run");
         assert!(err.contains("inside an open run"), "{err}");
+    }
+
+    #[test]
+    fn thread_trace_overrides_environment_and_restores() {
+        // An env-selected file sink would pollute other tests; use a
+        // variable scoped to this test's thread via the override instead.
+        let captured = MemorySink::new();
+        with_thread_trace(ThreadTrace::Capture(captured.clone()), || {
+            emit_phase("Captured");
+        });
+        assert_eq!(captured.len(), 1);
+        assert!(captured.to_jsonl().contains("\"label\":\"Captured\""));
+
+        // Off suppresses emission entirely.
+        let silent = MemorySink::new();
+        with_thread_trace(ThreadTrace::Capture(silent.clone()), || {
+            with_thread_trace(ThreadTrace::Off, || emit_phase("Dropped"));
+            // ...and the outer capture policy is restored afterwards.
+            emit_phase("AfterRestore");
+        });
+        assert_eq!(silent.len(), 1);
+        assert!(silent.to_jsonl().contains("AfterRestore"));
+
+        // The restore also survives a panicking body.
+        let outer = MemorySink::new();
+        with_thread_trace(ThreadTrace::Capture(outer.clone()), || {
+            let caught = std::panic::catch_unwind(|| {
+                with_thread_trace(ThreadTrace::Off, || panic!("job died"))
+            });
+            assert!(caught.is_err());
+            emit_phase("StillCapturing");
+        });
+        assert_eq!(outer.len(), 1);
+    }
+
+    #[test]
+    fn memory_sink_lines_since_reads_incrementally() {
+        let mut sink = MemorySink::new();
+        sink.event(&TraceEvent::Phase { label: "A" });
+        sink.event(&TraceEvent::Phase { label: "B" });
+        let first = sink.lines_since(0);
+        assert_eq!(first.len(), 2);
+        assert!(sink.lines_since(2).is_empty());
+        sink.event(&TraceEvent::Phase { label: "C" });
+        let tail = sink.lines_since(2);
+        assert_eq!(tail.len(), 1);
+        assert!(tail[0].contains("\"label\":\"C\""));
+        assert!(sink.lines_since(99).is_empty());
     }
 }

@@ -264,7 +264,14 @@ impl CoordListener {
         }
     }
 
-    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+    /// Switches the listener between blocking and non-blocking accepts.
+    /// Non-blocking mode lets a server poll [`CoordListener::accept`]
+    /// alongside a shutdown flag instead of parking forever in the OS.
+    ///
+    /// # Errors
+    ///
+    /// If the OS rejects the option.
+    pub fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
         match self {
             CoordListener::Tcp(l) => l.set_nonblocking(nb),
             #[cfg(unix)]
@@ -272,7 +279,13 @@ impl CoordListener {
         }
     }
 
-    fn accept(&self) -> io::Result<Conn> {
+    /// Accepts one incoming connection. In non-blocking mode an empty
+    /// backlog is [`io::ErrorKind::WouldBlock`].
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level accept failure.
+    pub fn accept(&self) -> io::Result<Conn> {
         match self {
             CoordListener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
             #[cfg(unix)]
@@ -360,26 +373,14 @@ pub fn shard_bounds(n: usize, shards: usize) -> Vec<usize> {
     (0..=shards).map(|s| s * n / shards).collect()
 }
 
-/// FNV-1a fingerprint of a graph's full topology — node count, edge
-/// count, application ids, and every arc's `(to, weight, edge)`. The
-/// handshake compares fingerprints so a worker generated from different
-/// parameters (or a different generator seed) is rejected up front
-/// instead of silently desynchronizing mid-run.
+/// Fingerprint of a graph's full topology, used by the handshake so a
+/// worker generated from different parameters (or a different generator
+/// seed) is rejected up front instead of silently desynchronizing
+/// mid-run. Now an alias for the canonical [`Graph::fingerprint`] — the
+/// same value keys the result cache, so a cache entry and a transport
+/// handshake always agree on graph identity.
 pub fn graph_fingerprint(g: &Graph) -> u64 {
-    const PRIME: u64 = 0x100_0000_01b3;
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mix = |h: u64, x: u64| (h ^ x).wrapping_mul(PRIME);
-    h = mix(h, g.node_count() as u64);
-    h = mix(h, g.edge_count() as u64);
-    for v in 0..g.node_count() {
-        h = mix(h, g.id_of(NodeId(v)));
-        for arc in g.neighbors(NodeId(v)) {
-            h = mix(h, arc.to.0 as u64);
-            h = mix(h, arc.weight);
-            h = mix(h, arc.edge.0 as u64);
-        }
-    }
-    h
+    g.fingerprint()
 }
 
 // ---------------------------------------------------------------------------

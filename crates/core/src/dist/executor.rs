@@ -100,6 +100,26 @@ impl Executor {
         self.run(g, nodes, max_rounds)
     }
 
+    /// [`Executor::run_phase`] with an explicit round-engine
+    /// configuration instead of the environment defaults — the
+    /// spec-driven path used by the service layer, where the
+    /// environment must not leak into a job's execution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the simulator's [`SimError`], as [`Executor::run`].
+    pub fn run_phase_configured<P: Protocol>(
+        &self,
+        phase: &str,
+        g: &Graph,
+        nodes: Vec<P>,
+        max_rounds: u64,
+        config: EngineConfig,
+    ) -> Result<(Vec<P>, RunReport), SimError> {
+        kdom_congest::trace::emit_phase(phase);
+        self.run_configured(g, nodes, max_rounds, config)
+    }
+
     /// The watchdog budget equivalent to `sync_rounds` synchronous
     /// rounds under this backend. The α transport spends extra pulses
     /// on ARQ retransmissions and on draining acks *after* the protocol
@@ -135,22 +155,27 @@ impl Executor {
     /// # Panics
     ///
     /// On a socket endpoint (with a pointer to `kdom-shard`) or on any
-    /// other unrecognized value, quoting the offending text.
+    /// other unrecognized value, quoting the offending text. The knob
+    /// parsing — including this `KDOM_TRANSPORT` validation — lives in
+    /// [`kdom_congest::RunSpec::from_env`]; this is the executor view
+    /// of that spec.
     pub fn from_env() -> Self {
-        match std::env::var("KDOM_TRANSPORT") {
-            Err(std::env::VarError::NotPresent) => Executor::Sync,
-            Err(e) => panic!("KDOM_TRANSPORT is not valid unicode: {e}"),
-            Ok(v) if v == "local" || v.is_empty() => Executor::Sync,
-            Ok(v) if v.parse::<kdom_congest::transport::Endpoint>().is_ok() => panic!(
-                "KDOM_TRANSPORT={v} names a socket endpoint, but the in-process Executor \
-                 cannot run a multi-process fleet (it must return the final automata). \
-                 Launch the distributed run with the kdom-shard binary instead: \
-                 `kdom-shard run --shards N --graph … --proto …`"
-            ),
-            Ok(v) => panic!(
-                "KDOM_TRANSPORT={v:?} is not understood: use `local`, or run the \
-                 kdom-shard binary for socket transports"
-            ),
+        Executor::from(&kdom_congest::RunSpec::from_env())
+    }
+}
+
+impl From<&kdom_congest::RunSpec> for Executor {
+    /// The backend a [`kdom_congest::RunSpec`] describes: the spec's
+    /// run seed becomes the α executor's delay seed and the spec's
+    /// fault plan becomes the adversary.
+    fn from(spec: &kdom_congest::RunSpec) -> Executor {
+        match spec.exec {
+            kdom_congest::ExecSpec::Sync => Executor::Sync,
+            kdom_congest::ExecSpec::ReliableAlpha { max_delay } => Executor::ReliableAlpha {
+                seed: spec.seed,
+                max_delay,
+                plan: spec.faults.clone(),
+            },
         }
     }
 }

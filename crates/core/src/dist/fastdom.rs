@@ -11,14 +11,14 @@
 
 use std::collections::VecDeque;
 
-use kdom_congest::{Port, RunReport};
+use kdom_congest::{EngineConfig, Port, RunReport};
 use kdom_graph::{Graph, NodeId};
 
 use crate::cluster::Charge;
 use crate::clustering::Clustering;
 use crate::dist::diamdom::{DiamDomNode, TreeConfig};
 use crate::dist::executor::Executor;
-use crate::dist::fragments::run_simple_mst_on;
+use crate::dist::fragments::run_simple_mst_configured;
 use crate::dist::treedp::{DpConfig, TreeDpNode};
 use crate::fastdom::WithinCluster;
 use crate::partition::dom_partition;
@@ -113,6 +113,7 @@ fn run_within(
     k: usize,
     solver: WithinCluster,
     exec: &Executor,
+    config: EngineConfig,
 ) -> (Vec<u64>, RunReport) {
     let n = g.node_count();
     let budget = 30 * (n as u64 + k as u64) + 128;
@@ -129,7 +130,7 @@ fn run_within(
                 })
                 .collect();
             let (nodes, report) = exec
-                .run_phase("FastDOM/within", g, nodes, budget)
+                .run_phase_configured("FastDOM/within", g, nodes, budget, config)
                 .unwrap_or_else(|e| panic!("DiamDOM stage failed: {e}"));
             (
                 nodes
@@ -150,7 +151,7 @@ fn run_within(
                 })
                 .collect();
             let (nodes, report) = exec
-                .run_phase("FastDOM/within", g, nodes, budget)
+                .run_phase_configured("FastDOM/within", g, nodes, budget, config)
                 .unwrap_or_else(|e| panic!("DP stage failed: {e}"));
             (
                 nodes
@@ -218,7 +219,8 @@ pub fn fast_dom_t_distributed_on(
         tree_adj[v.0].push(u);
     }
     let plan = plan_cluster_trees(g, &part.clusters, &tree_adj);
-    let (dominator_id, within_report) = run_within(g, &plan, k, solver, exec);
+    let (dominator_id, within_report) =
+        run_within(g, &plan, k, solver, exec, EngineConfig::from_env());
     DistFastDom {
         clustering: clustering_from_dominators(g, &dominator_id),
         fragment_rounds: 0,
@@ -246,7 +248,27 @@ pub fn fast_dom_g_distributed_on(
     solver: WithinCluster,
     exec: &Executor,
 ) -> DistFastDom {
-    let fragments = run_simple_mst_on(g, k, exec);
+    fast_dom_g_distributed_configured(g, k, solver, exec, EngineConfig::from_env()).0
+}
+
+/// [`fast_dom_g_distributed_on`] with an explicit engine configuration
+/// instead of the environment defaults, also returning the absorbed
+/// [`RunReport`] of the whole composition — the measured `SimpleMST`
+/// report, the charged `DOMPartition` rounds, and the measured
+/// within-cluster report. This is the spec-driven entry the service
+/// layer schedules and caches.
+///
+/// # Panics
+///
+/// Panics if a protocol stage fails.
+pub fn fast_dom_g_distributed_configured(
+    g: &Graph,
+    k: usize,
+    solver: WithinCluster,
+    exec: &Executor,
+    config: EngineConfig,
+) -> (DistFastDom, RunReport) {
+    let fragments = run_simple_mst_configured(g, k, exec, config);
     let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); fragments.roots.len()];
     for v in g.nodes() {
         members[fragments.fragment_of[v.0]].push(v);
@@ -271,13 +293,19 @@ pub fn fast_dom_g_distributed_on(
     kdom_congest::trace::emit_phase("DOMPartition");
     kdom_congest::trace::emit_charge(charge.rounds);
     let plan = plan_cluster_trees(g, &all_clusters, &tree_adj);
-    let (dominator_id, within_report) = run_within(g, &plan, k, solver, exec);
-    DistFastDom {
-        clustering: clustering_from_dominators(g, &dominator_id),
-        fragment_rounds: fragments.report.rounds,
-        partition_charge: charge,
-        within_report,
-    }
+    let (dominator_id, within_report) = run_within(g, &plan, k, solver, exec, config);
+    let mut report = fragments.report.clone();
+    report.charge_rounds(charge.rounds);
+    report.absorb(&within_report);
+    (
+        DistFastDom {
+            clustering: clustering_from_dominators(g, &dominator_id),
+            fragment_rounds: fragments.report.rounds,
+            partition_charge: charge,
+            within_report,
+        },
+        report,
+    )
 }
 
 #[cfg(test)]

@@ -294,6 +294,40 @@ impl Graph {
             .map(|a| self.edges[a.edge.0])
     }
 
+    /// FNV-1a fingerprint of the graph's full topology — node count,
+    /// edge count, application ids, and every arc's `(to, weight, edge)`
+    /// in adjacency order.
+    ///
+    /// This is the **canonical content address** of a graph: the
+    /// multi-process transport's handshake compares it so a worker
+    /// generated from different parameters is rejected before round 0,
+    /// and the job layer's result cache keys computed partitions by it.
+    /// Both consumers hash the same bytes by construction — they call
+    /// this one function — so handshake and cache can never disagree.
+    ///
+    /// Because arcs are visited in adjacency (edge-insertion) order, two
+    /// *isomorphic* graphs whose edges were inserted in different orders
+    /// fingerprint differently. That is deliberate: the simulator's
+    /// port numbering — and therefore every byte of a run's outputs —
+    /// depends on adjacency order, so order-distinct graphs must never
+    /// share cached results.
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mix = |h: u64, x: u64| (h ^ x).wrapping_mul(PRIME);
+        h = mix(h, self.node_count() as u64);
+        h = mix(h, self.edge_count() as u64);
+        for v in self.nodes() {
+            h = mix(h, self.id_of(v));
+            for arc in self.neighbors(v) {
+                h = mix(h, arc.to.0 as u64);
+                h = mix(h, arc.weight);
+                h = mix(h, arc.edge.0 as u64);
+            }
+        }
+        h
+    }
+
     /// Heap bytes held by the graph's four arrays (CSR offsets + arcs,
     /// edge list, id list). Deterministic — computed from lengths, not
     /// allocator capacities — so it can participate in byte-identical
@@ -504,6 +538,37 @@ mod tests {
         b.add_edge(NodeId(0), NodeId(1), 5);
         b.add_edge(NodeId(1), NodeId(2), 7);
         assert_eq!(b.build(), b.clone().build_consumed());
+    }
+
+    /// The fingerprint must separate topologies, weights, and adjacency
+    /// *order* (isomorphic graphs inserted differently are distinct),
+    /// while staying stable across identical rebuilds.
+    #[test]
+    fn fingerprint_separates_structure_and_order() {
+        let g = triangle();
+        assert_eq!(g.fingerprint(), triangle().fingerprint());
+
+        let mut heavier = GraphBuilder::new(3);
+        heavier.add_edge(NodeId(0), NodeId(1), 5);
+        heavier.add_edge(NodeId(1), NodeId(2), 7);
+        heavier.add_edge(NodeId(2), NodeId(0), 10);
+        assert_ne!(g.fingerprint(), heavier.build().fingerprint());
+
+        // same triangle, edges inserted in a different order: isomorphic
+        // (identical vertex set and weights) but port numbering differs,
+        // so the fingerprint must differ too
+        let mut reordered = GraphBuilder::new(3);
+        reordered.add_edge(NodeId(2), NodeId(0), 9);
+        reordered.add_edge(NodeId(0), NodeId(1), 5);
+        reordered.add_edge(NodeId(1), NodeId(2), 7);
+        assert_ne!(g.fingerprint(), reordered.build().fingerprint());
+
+        let mut renamed = GraphBuilder::new(3);
+        renamed.add_edge(NodeId(0), NodeId(1), 5);
+        renamed.add_edge(NodeId(1), NodeId(2), 7);
+        renamed.add_edge(NodeId(2), NodeId(0), 9);
+        renamed.ids(vec![10, 11, 12]);
+        assert_ne!(g.fingerprint(), renamed.build().fingerprint());
     }
 
     #[test]

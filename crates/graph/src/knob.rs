@@ -91,10 +91,44 @@ pub fn knob_enum<T: Copy>(name: &str, default: T, table: &[(&[&str], T)]) -> T {
     }
 }
 
-/// The variable's value when set and non-empty. Empty strings count as
-/// unset: `KDOM_FOO= cmd` is how shells express "default, explicitly".
-fn raw(name: &str) -> Option<String> {
-    std::env::var(name).ok().filter(|v| !v.is_empty())
+/// Reads a boolean knob through the workspace's one alias table:
+/// `1`/`on`/`true`/`yes` enable, `0`/`off`/`false`/`no` disable, unset or
+/// empty means `default`.
+///
+/// # Panics
+///
+/// Panics, naming the variable, the offending value, and the accepted
+/// aliases, on any other string — `KDOM_BENCH_GATE=yes please` must not
+/// silently run ungated.
+#[must_use]
+pub fn knob_flag(name: &str, default: bool) -> bool {
+    knob_enum(
+        name,
+        default,
+        &[
+            (&["0", "off", "false", "no"], false),
+            (&["1", "on", "true", "yes"], true),
+        ],
+    )
+}
+
+/// The variable's value when set and non-empty, unparsed — for knobs that
+/// are strings by nature (file paths, socket endpoints) where every
+/// non-empty value is well-formed. Empty strings count as unset:
+/// `KDOM_FOO= cmd` is how shells express "default, explicitly".
+///
+/// # Panics
+///
+/// Panics if the variable is set to non-unicode bytes: a knob the
+/// process cannot even read as text must not be silently ignored.
+#[must_use]
+pub fn raw(name: &str) -> Option<String> {
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => None,
+        Err(e) => panic!("{name} is not valid unicode: {e}"),
+        Ok(v) if v.is_empty() => None,
+        Ok(v) => Some(v),
+    }
 }
 
 #[cfg(test)]
@@ -157,5 +191,34 @@ mod tests {
     fn enum_rejects_unknown() {
         std::env::set_var("KDOM_KNOB_TEST_ENUM_BAD", "sideways");
         let _ = knob_enum("KDOM_KNOB_TEST_ENUM_BAD", 0, &[(&["active"], 1)]);
+    }
+
+    #[test]
+    fn flag_maps_aliases_and_defaults() {
+        assert!(knob_flag("KDOM_KNOB_TEST_FLAG_UNSET", true));
+        assert!(!knob_flag("KDOM_KNOB_TEST_FLAG_UNSET", false));
+        std::env::set_var("KDOM_KNOB_TEST_FLAG_ON", "yes");
+        assert!(knob_flag("KDOM_KNOB_TEST_FLAG_ON", false));
+        std::env::set_var("KDOM_KNOB_TEST_FLAG_OFF", "0");
+        assert!(!knob_flag("KDOM_KNOB_TEST_FLAG_OFF", true));
+    }
+
+    #[test]
+    #[should_panic(expected = "KDOM_KNOB_TEST_FLAG_BAD=\"maybe\" is not a recognized value")]
+    fn flag_rejects_unknown() {
+        std::env::set_var("KDOM_KNOB_TEST_FLAG_BAD", "maybe");
+        let _ = knob_flag("KDOM_KNOB_TEST_FLAG_BAD", false);
+    }
+
+    #[test]
+    fn raw_passes_strings_through() {
+        assert_eq!(raw("KDOM_KNOB_TEST_RAW_UNSET"), None);
+        std::env::set_var("KDOM_KNOB_TEST_RAW_EMPTY", "");
+        assert_eq!(raw("KDOM_KNOB_TEST_RAW_EMPTY"), None);
+        std::env::set_var("KDOM_KNOB_TEST_RAW_SET", "/tmp/trace.jsonl");
+        assert_eq!(
+            raw("KDOM_KNOB_TEST_RAW_SET").as_deref(),
+            Some("/tmp/trace.jsonl")
+        );
     }
 }

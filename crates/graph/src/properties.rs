@@ -35,7 +35,7 @@ pub fn oracle_threads() -> usize {
             Err("worker count must be at least 1".to_string())
         }
     };
-    if std::env::var("KDOM_ORACLE_THREADS").is_ok_and(|v| !v.is_empty()) {
+    if crate::knob::raw("KDOM_ORACLE_THREADS").is_some() {
         crate::knob::knob_checked("KDOM_ORACLE_THREADS", 1, positive)
     } else {
         crate::knob::knob_checked("KDOM_THREADS", 1, positive)

@@ -20,3 +20,4 @@
 pub mod baselines;
 pub mod fastmst;
 pub mod pipeline;
+pub mod service;

@@ -34,3 +34,5 @@ pub use kdom_congest as congest;
 pub use kdom_core as core;
 pub use kdom_graph as graph;
 pub use kdom_mst as mst;
+
+pub mod serve;

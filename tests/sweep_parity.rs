@@ -1,0 +1,91 @@
+//! The issue's acceptance pin: a [`SweepSpec`] of ≥ 8 jobs executed on
+//! a pool of 4 workers yields [`RunReport`]s (and outputs, and traces)
+//! byte-identical to serial execution, and resubmitting the same sweep
+//! completes entirely from the cache — zero engine invocations,
+//! identical reports.
+//!
+//! The engine runs are counted by wrapping the production runner in a
+//! counting shim, so "zero invocations" is measured at the exact
+//! boundary the cache is supposed to protect.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use kdom::congest::{run_serial, Algo, JobPool, JobStatus, RunSpec, Runner, SweepSpec};
+use kdom::graph::generators::Family;
+use kdom::mst::service;
+
+/// Wraps `inner` so every actual engine invocation bumps `counter`.
+fn counting_runner(inner: Runner, counter: Arc<AtomicU64>) -> Runner {
+    Arc::new(move |g, spec| {
+        counter.fetch_add(1, Ordering::SeqCst);
+        inner(g, spec)
+    })
+}
+
+#[test]
+fn pooled_sweep_matches_serial_and_resubmission_is_all_cache() {
+    let graph = Arc::new(Family::Grid.generate(81, 17));
+    // 3 algorithms × 3 seeds = 9 jobs ≥ 8, with per-job tracing on so
+    // the parity claim covers the captured trace streams too
+    let sweep = SweepSpec::new(RunSpec::default().with_k(3).with_trace(true))
+        .over_algos(&[Algo::SimpleMst, Algo::FastDomG, Algo::Bfs])
+        .over_seeds(&[1, 2, 3]);
+    let specs = sweep.specs();
+    assert!(specs.len() >= 8, "the acceptance pin wants at least 8 jobs");
+
+    // serial reference, one spec at a time on this thread
+    let reference: Vec<_> = specs
+        .iter()
+        .map(|spec| run_serial(&graph, spec, &service::runner()).expect("serial run"))
+        .collect();
+
+    let invocations = Arc::new(AtomicU64::new(0));
+    let pool = JobPool::new(
+        4,
+        64 << 20,
+        counting_runner(service::runner(), Arc::clone(&invocations)),
+    );
+
+    let handles = pool.submit_sweep(&graph, &sweep);
+    assert_eq!(handles.len(), specs.len());
+    for ((handle, spec), want) in handles.iter().zip(&specs).zip(&reference) {
+        assert_eq!(handle.spec(), spec, "handles line up with SweepSpec::specs");
+        let got = handle.wait().expect("pooled run");
+        assert_eq!(
+            got.report, want.report,
+            "byte-identical RunReport: {spec:?}"
+        );
+        assert_eq!(
+            got.outputs, want.outputs,
+            "byte-identical outputs: {spec:?}"
+        );
+        assert_eq!(got.trace, want.trace, "byte-identical trace: {spec:?}");
+        assert_eq!(handle.status(), JobStatus::Done { from_cache: false });
+    }
+    assert_eq!(invocations.load(Ordering::SeqCst), specs.len() as u64);
+
+    // the identical sweep again: served entirely from the cache
+    let cached = pool.submit_sweep(&graph, &sweep);
+    for (handle, want) in cached.iter().zip(&reference) {
+        let got = handle.wait().expect("cached run");
+        assert_eq!(
+            handle.status(),
+            JobStatus::Done { from_cache: true },
+            "resubmission must not re-run: {:?}",
+            handle.spec()
+        );
+        assert_eq!(got.report, want.report, "cached report identical");
+        assert_eq!(got.outputs, want.outputs, "cached outputs identical");
+        assert_eq!(got.trace, want.trace, "cached trace identical");
+    }
+    assert_eq!(
+        invocations.load(Ordering::SeqCst),
+        specs.len() as u64,
+        "the resubmitted sweep must invoke the engine zero times"
+    );
+    let stats = pool.stats();
+    assert_eq!(stats.engine_runs, specs.len() as u64);
+    assert_eq!(stats.cache.hits, specs.len() as u64);
+    assert_eq!(stats.submitted, 2 * specs.len() as u64);
+}
